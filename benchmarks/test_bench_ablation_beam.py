@@ -1,0 +1,50 @@
+"""Extra ablation (DESIGN.md): beam width and depth of template identification.
+
+Not a numbered figure in the paper, but the beam width beta and the maximum
+expansion depth are the two structural knobs of the Query Template
+Identification component (Section VI.B); this benchmark records how they
+trade identification cost against downstream quality.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import BENCH_FEATURES, bench_config, write_result
+from repro.datasets import load_dataset
+from repro.experiments.reporting import render_table
+from repro.experiments.runner import run_method
+
+SETTINGS = (
+    ("beta=1, depth=2", dict(beam_width=1, max_template_depth=2)),
+    ("beta=2, depth=2", dict(beam_width=2, max_template_depth=2)),
+    ("beta=2, depth=3", dict(beam_width=2, max_template_depth=3)),
+    ("beta=3, depth=3", dict(beam_width=3, max_template_depth=3)),
+)
+
+
+def _run_beam_ablation():
+    bundle = load_dataset("student", scale=0.2, seed=0)
+    rows = []
+    for label, overrides in SETTINGS:
+        config = bench_config(**overrides)
+        result = run_method(bundle, "FeatAug", "LR", n_features=BENCH_FEATURES, config=config, seed=0)
+        rows.append(
+            [label, result.metric_name, result.metric, result.details.get("qti_seconds", 0.0), result.seconds]
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation-beam")
+def test_beam_width_and_depth_ablation(benchmark):
+    rows = benchmark.pedantic(_run_beam_ablation, rounds=1, iterations=1)
+    text = (
+        "Beam-search ablation -- width/depth of Query Template Identification (Student, LR)\n\n"
+        + render_table(["setting", "metric", "measured", "qti_seconds", "total_seconds"], rows)
+    )
+    print("\n" + text)
+    write_result("ablation_beam", text)
+
+    # Wider / deeper beams may cost more QTI time but should not collapse quality.
+    metrics = [row[2] for row in rows]
+    assert max(metrics) - min(metrics) < 0.35

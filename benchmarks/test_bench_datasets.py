@@ -1,0 +1,59 @@
+"""Tables I, II, IV and V: dataset and query-template statistics.
+
+Prints the per-dataset row counts, relationship cardinalities and template
+metadata in the style of the paper's dataset tables, and benchmarks the cost
+of generating one synthetic dataset bundle.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import BENCH_SCALE, write_result
+from repro.dataframe.aggregates import DEFAULT_AGGREGATES
+from repro.datasets import DATASET_NAMES, load_dataset
+from repro.experiments.reporting import render_table
+
+
+def _dataset_rows():
+    rows = []
+    for name in DATASET_NAMES:
+        bundle = load_dataset(name, scale=BENCH_SCALE, seed=0)
+        summary = bundle.summary()
+        rows.append(
+            [
+                summary["name"],
+                summary["task"],
+                summary["relationship"],
+                summary["n_train_rows"],
+                summary["n_relevant_rows"],
+                summary["n_relevant_cols"],
+                len(bundle.agg_attrs),
+                len(bundle.candidate_attrs),
+                2 ** len(bundle.candidate_attrs),
+                ", ".join(bundle.keys),
+            ]
+        )
+    return rows
+
+
+def test_table1_and_table2_dataset_statistics(benchmark):
+    rows = benchmark.pedantic(_dataset_rows, rounds=1, iterations=1)
+    text = render_table(
+        [
+            "dataset", "task", "relationship", "rows(D)", "rows(R)", "cols(R)",
+            "#A (agg attrs)", "#attr (predicate attrs)", "#T (=2^attr)", "keys",
+        ],
+        rows,
+    )
+    text = (
+        "Tables I / II / IV / V -- synthetic dataset and query-template statistics\n"
+        f"(scale={BENCH_SCALE} of the default synthetic sizes; the paper's real datasets are larger)\n"
+        f"aggregation functions available (F): {', '.join(DEFAULT_AGGREGATES)}\n\n" + text
+    )
+    print("\n" + text)
+    write_result("table1_2_4_5_datasets", text)
+    assert len(rows) == len(DATASET_NAMES)
+
+
+def test_dataset_generation_speed(benchmark):
+    bundle = benchmark(load_dataset, "student", BENCH_SCALE, 0)
+    assert bundle.train.num_rows > 0

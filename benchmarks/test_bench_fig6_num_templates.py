@@ -1,0 +1,61 @@
+"""Figure 6: downstream performance as the number of query templates grows.
+
+Sweeps the number of identified templates (1..8) on two datasets with the LR
+and XGB downstream models, holding the per-template query budget fixed --
+the series the paper plots in Figure 6.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import BENCH_SCALE, bench_config, write_result
+from repro.datasets import load_dataset
+from repro.experiments.reporting import render_table
+from repro.experiments.runner import run_method
+
+DATASETS = ("student", "merchant")
+MODELS = ("LR", "XGB")
+TEMPLATE_COUNTS = (1, 2, 4, 6, 8)
+
+
+def _run_fig6():
+    rows = []
+    for dataset_name in DATASETS:
+        bundle = load_dataset(dataset_name, scale=BENCH_SCALE, seed=0)
+        for model_name in MODELS:
+            for n_templates in TEMPLATE_COUNTS:
+                config = bench_config(n_templates=n_templates, queries_per_template=2)
+                result = run_method(
+                    bundle, "FeatAug", model_name,
+                    n_features=n_templates * 2, config=config, seed=0,
+                )
+                rows.append([dataset_name, model_name, n_templates, result.metric_name, result.metric])
+    return rows
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_varying_number_of_templates(benchmark):
+    rows = benchmark.pedantic(_run_fig6, rounds=1, iterations=1)
+    text = (
+        "Figure 6 -- metric vs number of query templates (queries per template fixed at 2)\n\n"
+        + render_table(["dataset", "model", "n_templates", "metric", "measured"], rows)
+    )
+    print("\n" + text)
+    write_result("fig6_num_templates", text)
+
+    # Shape check: using several templates should not be worse than using a
+    # single template in the majority of (dataset, model) series -- the paper
+    # observes improvement or stability in most scenarios.
+    improvements = 0
+    series = 0
+    for dataset_name in DATASETS:
+        for model_name in MODELS:
+            values = [r[4] for r in rows if r[0] == dataset_name and r[1] == model_name]
+            metric_name = next(r[3] for r in rows if r[0] == dataset_name and r[1] == model_name)
+            series += 1
+            if metric_name == "rmse":
+                improvements += min(values[1:]) <= values[0] + 1e-9
+            else:
+                improvements += max(values[1:]) >= values[0] - 1e-9
+    assert improvements >= series // 2

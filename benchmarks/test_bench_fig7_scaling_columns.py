@@ -1,0 +1,42 @@
+"""Figure 7: FeatAug runtime vs the number of columns in the relevant table.
+
+The Student relevant table is widened by horizontal duplication (the paper's
+"Student-Wide" construction) and the three timing components -- QTI time,
+warm-up time and generate time -- are reported per width.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import write_result
+from repro.datasets import load_dataset
+from repro.experiments.reporting import format_timing_table
+from repro.experiments.scaling import run_scaling_columns
+
+COPIES = (1, 2, 4, 8)
+
+
+def _run_fig7():
+    bundle = load_dataset("student", scale=0.15, seed=0)
+    return run_scaling_columns(bundle, COPIES, model_name="LR")
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_scaling_with_relevant_table_width(benchmark):
+    points = benchmark.pedantic(_run_fig7, rounds=1, iterations=1)
+    text = (
+        "Figure 7 -- FeatAug running time vs number of columns in R (Student, LR model)\n\n"
+        + format_timing_table(points, x_label="n_columns")
+    )
+    print("\n" + text)
+    write_result("fig7_scaling_columns", text)
+
+    assert [p.size for p in points] == sorted(p.size for p in points)
+    # Shape checks from the paper: the warm-up and generate components stay
+    # roughly stable as the table widens (they depend on the iteration budget
+    # and the training-table size, not on the width of R).
+    warmups = [p.warmup_seconds for p in points]
+    generates = [p.generate_seconds for p in points]
+    assert max(warmups) <= 10 * max(min(warmups), 1e-3)
+    assert max(generates) <= 10 * max(min(generates), 1e-3)

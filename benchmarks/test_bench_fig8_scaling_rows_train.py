@@ -1,0 +1,47 @@
+"""Figure 8: FeatAug runtime vs the number of rows in the training table D.
+
+Sweeps the training-table size on two datasets (Student and Merchant, one
+classification and one regression) and reports the QTI / warm-up / generate
+time split per size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import write_result
+from repro.datasets import load_dataset
+from repro.experiments.reporting import format_timing_table
+from repro.experiments.scaling import run_scaling_rows_train
+
+ROW_COUNTS = (60, 120, 240)
+DATASETS = ("student", "merchant")
+
+
+def _run_fig8():
+    tables = {}
+    for dataset_name in DATASETS:
+        bundle = load_dataset(dataset_name, scale=0.25, seed=0)
+        tables[dataset_name] = run_scaling_rows_train(bundle, ROW_COUNTS, model_name="LR")
+    return tables
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_scaling_with_training_rows(benchmark):
+    tables = benchmark.pedantic(_run_fig8, rounds=1, iterations=1)
+    sections = []
+    for dataset_name, points in tables.items():
+        sections.append(
+            f"Figure 8 ({dataset_name}) -- running time vs rows in D (LR model)\n\n"
+            + format_timing_table(points, x_label="n_train_rows")
+        )
+    text = "\n\n".join(sections)
+    print("\n" + text)
+    write_result("fig8_scaling_rows_train", text)
+
+    for dataset_name, points in tables.items():
+        sizes = [p.size for p in points]
+        assert sizes == sorted(sizes)
+        # Total runtime should not shrink as the training table grows
+        # (allowing generous noise at these tiny scales).
+        assert points[-1].total_seconds >= 0.3 * points[0].total_seconds

@@ -1,0 +1,47 @@
+"""Figure 9: FeatAug runtime vs the number of rows in the relevant table R.
+
+Sweeps the relevant-table size on Student and Merchant while keeping the
+training table fixed, reporting the QTI / warm-up / generate time split.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import write_result
+from repro.datasets import load_dataset
+from repro.experiments.reporting import format_timing_table
+from repro.experiments.scaling import run_scaling_rows_relevant
+
+DATASETS = ("student", "merchant")
+FRACTIONS = (0.25, 0.5, 1.0)
+
+
+def _run_fig9():
+    tables = {}
+    for dataset_name in DATASETS:
+        bundle = load_dataset(dataset_name, scale=0.25, seed=0)
+        row_counts = [max(100, int(bundle.relevant.num_rows * f)) for f in FRACTIONS]
+        tables[dataset_name] = run_scaling_rows_relevant(bundle, row_counts, model_name="LR")
+    return tables
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_scaling_with_relevant_rows(benchmark):
+    tables = benchmark.pedantic(_run_fig9, rounds=1, iterations=1)
+    sections = []
+    for dataset_name, points in tables.items():
+        sections.append(
+            f"Figure 9 ({dataset_name}) -- running time vs rows in R (LR model)\n\n"
+            + format_timing_table(points, x_label="n_relevant_rows")
+        )
+    text = "\n\n".join(sections)
+    print("\n" + text)
+    write_result("fig9_scaling_rows_relevant", text)
+
+    for dataset_name, points in tables.items():
+        sizes = [p.size for p in points]
+        assert sizes == sorted(sizes)
+        # The warm-up / QTI components execute queries against R, so total
+        # time should grow (or at least not shrink drastically) with |R|.
+        assert points[-1].total_seconds >= 0.3 * points[0].total_seconds

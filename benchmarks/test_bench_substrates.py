@@ -1,0 +1,73 @@
+"""Micro-benchmarks of the substrates FeatAug is built on.
+
+Not a paper table, but useful for tracking the cost of the primitives every
+experiment exercises thousands of times: predicate filtering, group-by
+aggregation, query execution + join, mutual information and TPE suggestions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _bench_utils import BENCH_SCALE
+from repro.dataframe.groupby import group_by_aggregate
+from repro.dataframe.predicates import Equals, Range
+from repro.datasets import load_dataset
+from repro.hpo.space import CategoricalDimension, RealDimension, SearchSpace
+from repro.hpo.tpe import TPEOptimizer
+from repro.query.executor import execute_query
+from repro.query.pool import QueryPool
+from repro.query.template import QueryTemplate
+from repro.stats.mutual_information import mutual_information
+
+
+@pytest.fixture(scope="module")
+def student():
+    return load_dataset("student", scale=BENCH_SCALE, seed=0)
+
+
+def test_predicate_filter_speed(benchmark, student):
+    predicate = Equals("event_type", "notebook_click") & Range("level", low=13)
+    mask = benchmark(predicate.mask, student.relevant)
+    assert mask.shape[0] == student.relevant.num_rows
+
+
+def test_group_by_aggregate_speed(benchmark, student):
+    result = benchmark(
+        group_by_aggregate, student.relevant, student.keys, "hover_duration", "AVG"
+    )
+    assert result.num_rows > 0
+
+
+def test_query_execution_speed(benchmark, student):
+    template = QueryTemplate(["SUM", "AVG"], student.agg_attrs, student.candidate_attrs, student.keys)
+    pool = QueryPool(template, student.relevant)
+    query = pool.sample_random(seed=0, n=1)[0]
+    result = benchmark(execute_query, query, student.relevant)
+    assert "feature" in result
+
+
+def test_mutual_information_speed(benchmark):
+    rng = np.random.default_rng(0)
+    feature = rng.normal(size=5000)
+    label = rng.integers(0, 2, size=5000)
+    value = benchmark(mutual_information, feature, label)
+    assert value >= 0.0
+
+
+def test_tpe_suggest_speed(benchmark):
+    space = SearchSpace(
+        [
+            CategoricalDimension("agg", ["SUM", "AVG", "MAX", "COUNT"]),
+            RealDimension("low", 0, 1, optional=True),
+            RealDimension("high", 0, 1, optional=True),
+        ]
+    )
+    optimizer = TPEOptimizer(space, seed=0, n_startup_trials=5)
+    rng = np.random.default_rng(0)
+    for _ in range(30):
+        params = space.sample(rng)
+        optimizer.observe(params, float(rng.random()))
+    params = benchmark(optimizer.suggest)
+    space.validate(params)

@@ -1,0 +1,70 @@
+"""Table III: FeatAug vs Featuretools (+selectors) and Random on one-to-many datasets.
+
+The paper evaluates 4 datasets x 4 downstream models x 10 methods.  To keep
+the laptop-scale run short this benchmark covers every dataset with the LR
+and XGB models and the most informative method subset (FT, FT+MI, FT+GBDT,
+Random, FeatAug); DeepFM is exercised on the Student dataset.  The printed
+table includes the paper's reported value where available so the shape
+(FeatAug winning most scenarios) can be compared directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import BENCH_FEATURES, BENCH_SCALE, bench_config, write_result
+from repro.datasets import load_dataset
+from repro.experiments.reporting import format_results_table
+from repro.experiments.runner import run_method
+from repro.experiments.scenarios import ONE_TO_MANY_DATASETS, PAPER_TABLE3
+
+METHODS = ("FT", "FT+MI", "FT+GBDT", "Random", "FeatAug")
+MODELS = ("LR", "XGB")
+
+
+def _run_table3():
+    config = bench_config()
+    results = []
+    for dataset_name in ONE_TO_MANY_DATASETS:
+        bundle = load_dataset(dataset_name, scale=BENCH_SCALE, seed=0)
+        for model_name in MODELS:
+            for method in METHODS:
+                results.append(
+                    run_method(
+                        bundle, method, model_name,
+                        n_features=BENCH_FEATURES, config=config, seed=0,
+                    )
+                )
+    # DeepFM on the Student dataset only (binary task, representative subset).
+    student = load_dataset("student", scale=BENCH_SCALE, seed=0)
+    for method in ("FT", "Random", "FeatAug"):
+        results.append(
+            run_method(student, method, "DeepFM", n_features=BENCH_FEATURES, config=config, seed=0)
+        )
+    return results
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_overall_performance(benchmark):
+    results = benchmark.pedantic(_run_table3, rounds=1, iterations=1)
+    text = (
+        "Table III -- overall performance on one-to-many datasets\n"
+        "(AUC higher is better for tmall/instacart/student; RMSE lower is better for merchant)\n\n"
+        + format_results_table(results, PAPER_TABLE3)
+    )
+    print("\n" + text)
+    write_result("table3_overall", text)
+
+    # Shape check: FeatAug should beat Featuretools in the majority of the
+    # classification scenarios, mirroring the paper's headline claim.
+    wins, comparisons = 0, 0
+    for dataset in ONE_TO_MANY_DATASETS:
+        for model in MODELS:
+            feataug = next(r for r in results if r.dataset == dataset and r.method == "FeatAug" and r.model == model)
+            featuretools = next(r for r in results if r.dataset == dataset and r.method == "FT" and r.model == model)
+            comparisons += 1
+            if feataug.metric_name == "rmse":
+                wins += feataug.metric <= featuretools.metric + 1e-9
+            else:
+                wins += feataug.metric >= featuretools.metric - 1e-9
+    assert wins >= comparisons // 2

@@ -1,0 +1,60 @@
+"""Next-purchase prediction on the synthetic Tmall dataset.
+
+This is the scenario that motivates the paper's introduction: predict whether
+a customer will make a repeat purchase using the customer profile plus a
+behaviour log.  The script compares four augmentation strategies end to end --
+no augmentation, Featuretools, Random and FeatAug -- with the same number of
+generated features, and prints the SQL of the best FeatAug queries.
+
+Run with:  python examples/next_purchase_prediction.py
+"""
+
+from __future__ import annotations
+
+from repro.core.config import FeatAugConfig
+from repro.datasets import load_dataset
+from repro.experiments.reporting import render_table
+from repro.experiments.runner import run_method
+
+
+def main() -> None:
+    bundle = load_dataset("tmall", scale=0.3, seed=0)
+    print(f"Dataset: {bundle.description}")
+    print(f"  training table : {bundle.train.num_rows} rows")
+    print(f"  behaviour log  : {bundle.relevant.num_rows} rows")
+    print(f"  foreign key    : {bundle.keys}")
+
+    config = FeatAugConfig(
+        n_templates=3,
+        queries_per_template=3,
+        warmup_iterations=20,
+        warmup_top_k=5,
+        search_iterations=10,
+        max_template_depth=2,
+        seed=0,
+    )
+
+    rows = []
+    for method in ("Base", "FT", "Random", "FeatAug"):
+        result = run_method(bundle, method, "LR", n_features=9, config=config, seed=0)
+        rows.append([method, result.metric_name, result.metric, result.n_features, result.seconds])
+
+    print("\nNext-purchase prediction (LR downstream model, held-out test split):")
+    print(render_table(["method", "metric", "score", "n_features", "seconds"], rows))
+
+    # Show what FeatAug actually generated.
+    from repro.core.feataug import FeatAug
+
+    feataug = FeatAug(label=bundle.label_col, keys=bundle.keys, task=bundle.task, model="LR", config=config)
+    result = feataug.augment(
+        bundle.train, bundle.relevant,
+        candidate_attrs=bundle.candidate_attrs, agg_attrs=bundle.agg_attrs, n_features=5,
+    )
+    print("\nTop predicate-aware queries selected by FeatAug:")
+    for generated in result.queries[:3]:
+        print(f"\n-- validation AUC {generated.metric:.3f}")
+        print(generated.query.to_sql())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Reproduction of FeatAug (ICDE 2024).
+
+FeatAug automatically augments a training table with features extracted from
+one-to-many relationship tables by searching for predicate-aware group-by
+aggregation queries.  This package contains the full system described in the
+paper plus every substrate it relies on (columnar table engine, ML models,
+hyperparameter optimisation, baselines, synthetic datasets and the experiment
+harness used by the benchmark suite).
+
+The most convenient entry point is :class:`repro.core.FeatAug`:
+
+>>> from repro import FeatAug, load_dataset
+>>> bundle = load_dataset("tmall", scale=0.05, seed=0)
+>>> feataug = FeatAug(task=bundle.task, label=bundle.label_col, keys=bundle.keys)
+>>> result = feataug.augment(bundle.train, bundle.relevant,
+...                          candidate_attrs=bundle.candidate_attrs,
+...                          agg_attrs=bundle.agg_attrs)
+>>> augmented = result.augmented_table
+"""
+
+from repro.core import FeatAug, FeatAugConfig
+from repro.datasets import load_dataset
+from repro.dataframe import Table, Column
+
+__all__ = ["FeatAug", "FeatAugConfig", "load_dataset", "Table", "Column"]
+
+__version__ = "1.0.0"

@@ -1,0 +1,46 @@
+"""Baselines the paper compares FeatAug against (Section VII.A.3).
+
+* :class:`FeaturetoolsGenerator` -- deep-feature-synthesis style exhaustive
+  aggregation features, no predicates.
+* feature selectors -- LR, GBDT, MI, Chi2, Gini, Forward, Backward, applied
+  on top of the Featuretools features.
+* :class:`RandomAugmenter` -- random query templates + random predicate-aware
+  queries.
+* :class:`ARDA` -- random-injection feature selection for one-to-one tables.
+* :class:`AutoFeatureMAB` / :class:`AutoFeatureDQN` -- reinforcement-learning
+  style feature augmentation for one-to-one tables.
+"""
+
+from repro.baselines.featuretools import FeaturetoolsGenerator, FeaturetoolsFeature
+from repro.baselines.selectors import (
+    SELECTOR_NAMES,
+    select_features,
+    lr_selector,
+    gbdt_selector,
+    mi_selector,
+    chi2_selector,
+    gini_selector,
+    forward_selector,
+    backward_selector,
+)
+from repro.baselines.random_baseline import RandomAugmenter
+from repro.baselines.arda import ARDA
+from repro.baselines.autofeature import AutoFeatureMAB, AutoFeatureDQN
+
+__all__ = [
+    "FeaturetoolsGenerator",
+    "FeaturetoolsFeature",
+    "SELECTOR_NAMES",
+    "select_features",
+    "lr_selector",
+    "gbdt_selector",
+    "mi_selector",
+    "chi2_selector",
+    "gini_selector",
+    "forward_selector",
+    "backward_selector",
+    "RandomAugmenter",
+    "ARDA",
+    "AutoFeatureMAB",
+    "AutoFeatureDQN",
+]

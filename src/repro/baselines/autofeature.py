@@ -1,0 +1,164 @@
+"""AutoFeature: reinforcement-learning feature augmentation (Liu et al., ICDE 2022).
+
+The paper compares against two AutoFeature variants on one-to-one datasets:
+
+* **AutoFeature-MAB** -- a multi-armed bandit (UCB1) where each candidate
+  feature is an arm; pulling an arm adds the feature, retrains the downstream
+  model and uses the validation improvement as the reward.
+* **AutoFeature-DQN** -- Q-learning with a linear function approximator over
+  the (selected-feature-set, candidate) state encoding; at each step the
+  highest-Q candidate is added with epsilon-greedy exploration and the
+  observed improvement updates the weights.
+
+Both variants stop after selecting ``k`` features and return the selected
+feature names.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.evaluation import ModelEvaluator
+
+
+class AutoFeatureMAB:
+    """UCB1 bandit over candidate features, rewarded by validation improvement."""
+
+    def __init__(self, n_iterations: int = 30, exploration: float = 0.5, seed: int = 0):
+        self.n_iterations = n_iterations
+        self.exploration = exploration
+        self.seed = seed
+
+    def select(
+        self,
+        evaluator: ModelEvaluator,
+        feature_train: np.ndarray,
+        feature_valid: np.ndarray,
+        names: Sequence[str],
+        k: int,
+    ) -> List[str]:
+        names = list(names)
+        n_arms = len(names)
+        if n_arms == 0:
+            return []
+        counts = np.zeros(n_arms)
+        rewards = np.zeros(n_arms)
+        selected: List[int] = []
+        baseline_loss = evaluator.evaluate_matrix(None, None).loss
+        current_loss = baseline_loss
+        rng = np.random.default_rng(self.seed)
+
+        n_iterations = max(self.n_iterations, n_arms)
+        for t in range(1, n_iterations + 1):
+            remaining = [i for i in range(n_arms) if i not in selected]
+            if not remaining or len(selected) >= k:
+                break
+            ucb = np.full(n_arms, -np.inf)
+            for i in remaining:
+                if counts[i] == 0:
+                    ucb[i] = np.inf + rng.random()  # force exploration of untried arms
+                else:
+                    ucb[i] = rewards[i] / counts[i] + self.exploration * np.sqrt(
+                        np.log(t) / counts[i]
+                    )
+            arm = int(np.argmax(ucb))
+            columns = selected + [arm]
+            loss = evaluator.evaluate_matrix(
+                feature_train[:, columns], feature_valid[:, columns]
+            ).loss
+            reward = current_loss - loss
+            counts[arm] += 1
+            rewards[arm] += reward
+            if reward > 0:
+                selected.append(arm)
+                current_loss = loss
+        if len(selected) < k:
+            # Fill up with the best-estimated remaining arms.
+            estimates = np.where(counts > 0, rewards / np.maximum(counts, 1), -np.inf)
+            for i in np.argsort(-estimates):
+                if i not in selected:
+                    selected.append(int(i))
+                if len(selected) >= k:
+                    break
+        return [names[i] for i in selected[:k]]
+
+
+class AutoFeatureDQN:
+    """Linear Q-learning over feature-addition actions."""
+
+    def __init__(
+        self,
+        n_episodes: int = 3,
+        epsilon: float = 0.2,
+        learning_rate: float = 0.1,
+        discount: float = 0.9,
+        seed: int = 0,
+    ):
+        self.n_episodes = n_episodes
+        self.epsilon = epsilon
+        self.learning_rate = learning_rate
+        self.discount = discount
+        self.seed = seed
+
+    def _state_action(self, selected: Sequence[int], action: int, n: int) -> np.ndarray:
+        """Concatenate the one-hot selected-set encoding and the action one-hot."""
+        vec = np.zeros(2 * n, dtype=np.float64)
+        for i in selected:
+            vec[i] = 1.0
+        vec[n + action] = 1.0
+        return vec
+
+    def select(
+        self,
+        evaluator: ModelEvaluator,
+        feature_train: np.ndarray,
+        feature_valid: np.ndarray,
+        names: Sequence[str],
+        k: int,
+    ) -> List[str]:
+        names = list(names)
+        n = len(names)
+        if n == 0:
+            return []
+        rng = np.random.default_rng(self.seed)
+        weights = np.zeros(2 * n, dtype=np.float64)
+        best_selection: List[int] = []
+        best_loss = np.inf
+
+        for _ in range(self.n_episodes):
+            selected: List[int] = []
+            current_loss = evaluator.evaluate_matrix(None, None).loss
+            while len(selected) < k:
+                remaining = [i for i in range(n) if i not in selected]
+                if not remaining:
+                    break
+                if rng.random() < self.epsilon:
+                    action = int(rng.choice(remaining))
+                else:
+                    q_values = [
+                        float(weights @ self._state_action(selected, a, n)) for a in remaining
+                    ]
+                    action = remaining[int(np.argmax(q_values))]
+                columns = selected + [action]
+                loss = evaluator.evaluate_matrix(
+                    feature_train[:, columns], feature_valid[:, columns]
+                ).loss
+                reward = current_loss - loss
+                features = self._state_action(selected, action, n)
+                next_q = 0.0
+                next_remaining = [i for i in remaining if i != action]
+                if next_remaining and len(columns) < k:
+                    next_q = max(
+                        float(weights @ self._state_action(columns, a, n)) for a in next_remaining
+                    )
+                target = reward + self.discount * next_q
+                td_error = target - float(weights @ features)
+                weights += self.learning_rate * td_error * features
+                selected = columns
+                current_loss = loss
+            if current_loss < best_loss:
+                best_loss = current_loss
+                best_selection = list(selected)
+        return [names[i] for i in best_selection[:k]]

@@ -1,0 +1,54 @@
+"""The Random baseline (Section VII.A.3).
+
+Random first chooses query templates uniformly at random from the template
+set, then samples predicate-aware queries uniformly from each template's
+query pool -- no Bayesian optimisation, no warm-up, no beam search.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.dataframe.table import Table
+from repro.query.pool import QueryPool
+from repro.query.query import PredicateAwareQuery
+from repro.query.template import QueryTemplate
+
+
+class RandomAugmenter:
+    """Randomly sampled templates and predicate-aware queries."""
+
+    def __init__(
+        self,
+        keys: Sequence[str],
+        agg_attrs: Sequence[str],
+        agg_funcs: Sequence[str] | None = None,
+        n_templates: int = 8,
+        queries_per_template: int = 5,
+        max_predicate_attrs: int = 3,
+        seed: int = 0,
+    ):
+        self.keys = list(keys)
+        self.agg_attrs = list(agg_attrs)
+        self.agg_funcs = list(agg_funcs) if agg_funcs else None
+        self.n_templates = n_templates
+        self.queries_per_template = queries_per_template
+        self.max_predicate_attrs = max_predicate_attrs
+        self.seed = seed
+
+    def generate(self, relevant_table: Table, candidate_attrs: Sequence[str]) -> List[PredicateAwareQuery]:
+        """Sample ``n_templates * queries_per_template`` random queries."""
+        rng = np.random.default_rng(self.seed)
+        candidate_attrs = list(candidate_attrs)
+        queries: List[PredicateAwareQuery] = []
+        for t in range(self.n_templates):
+            size = int(rng.integers(1, min(self.max_predicate_attrs, len(candidate_attrs)) + 1))
+            chosen = list(rng.choice(candidate_attrs, size=size, replace=False))
+            template = QueryTemplate(self.agg_funcs, self.agg_attrs, chosen, self.keys)
+            pool = QueryPool(template, relevant_table)
+            queries.extend(
+                pool.sample_random(seed=self.seed + 37 * t, n=self.queries_per_template)
+            )
+        return queries

@@ -1,0 +1,41 @@
+"""FeatAug core: the paper's primary contribution.
+
+* :class:`FeatAugConfig` -- every knob of the framework in one dataclass.
+* :class:`ModelEvaluator` -- trains the downstream model on an augmented
+  training table and returns the validation loss (Problem 1's objective).
+* proxies -- mutual information / Spearman / logistic-regression low-cost
+  proxies (Section V.C and Table VIII).
+* :class:`SQLQueryGenerator` -- TPE search over a query pool with the MI
+  warm-up (Section V).
+* :class:`QueryTemplateIdentifier` -- beam search over WHERE-clause attribute
+  combinations with the low-cost proxy and the performance-predictor pruning
+  (Section VI).
+* :class:`FeatAug` -- the end-to-end facade combining both components
+  (Figure 2).
+"""
+
+from repro.core.config import FeatAugConfig
+from repro.core.evaluation import EvaluationResult, ModelEvaluator
+from repro.core.proxies import LRProxy, MutualInformationProxy, Proxy, SpearmanProxy, make_proxy
+from repro.core.sql_generation import GeneratedQuery, SQLQueryGenerator
+from repro.core.predictor import TemplatePerformancePredictor
+from repro.core.template_identification import QueryTemplateIdentifier, TemplateScore
+from repro.core.feataug import FeatAug, FeatAugResult
+
+__all__ = [
+    "FeatAugConfig",
+    "EvaluationResult",
+    "ModelEvaluator",
+    "Proxy",
+    "MutualInformationProxy",
+    "SpearmanProxy",
+    "LRProxy",
+    "make_proxy",
+    "GeneratedQuery",
+    "SQLQueryGenerator",
+    "TemplatePerformancePredictor",
+    "QueryTemplateIdentifier",
+    "TemplateScore",
+    "FeatAug",
+    "FeatAugResult",
+]

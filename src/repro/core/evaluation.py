@@ -1,0 +1,184 @@
+"""Downstream-model evaluation of candidate features (Problem 1's objective).
+
+The evaluator is constructed once per search with the training/validation
+split, the label and the base feature columns.  The base design matrices are
+vectorised and cached; scoring a candidate query then only requires executing
+the query, joining its feature onto both splits and retraining the (cloned)
+downstream model with one extra column.  The returned *loss* is minimised by
+the search:
+
+* binary classification  -> ``1 - AUC``
+* multi-class            -> ``1 - macro F1``
+* regression             -> ``RMSE``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.dataframe.table import Table
+from repro.ml.base import BaseEstimator, is_classifier
+from repro.ml.metrics import f1_score_macro, rmse, roc_auc_score
+from repro.ml.preprocessing import LabelEncoder, TableVectorizer
+from repro.query.augment import augment_training_table
+from repro.query.executor import execute_query
+from repro.query.query import PredicateAwareQuery
+
+
+@dataclass
+class EvaluationResult:
+    """Loss (minimised by the search) and the paper's reported metric."""
+
+    loss: float
+    metric: float
+    metric_name: str
+
+
+class ModelEvaluator:
+    """Train/evaluate the downstream model with extra candidate features."""
+
+    def __init__(
+        self,
+        train_table: Table,
+        valid_table: Table,
+        label: str,
+        base_features: Sequence[str],
+        model: BaseEstimator,
+        task: str,
+        relevant_table: Table | None = None,
+    ):
+        if task not in ("binary", "multiclass", "regression"):
+            raise ValueError(f"Unknown task {task!r}")
+        self.task = task
+        self.label = label
+        self.model = model
+        self.relevant_table = relevant_table
+        self._train_table = train_table
+        self._valid_table = valid_table
+        self.base_features = [f for f in base_features if f != label]
+
+        self._vectorizer = TableVectorizer(self.base_features)
+        if self.base_features:
+            self._X_train_base = self._vectorizer.fit_transform(train_table)
+            self._X_valid_base = self._vectorizer.transform(valid_table)
+        else:
+            self._X_train_base = np.zeros((train_table.num_rows, 0))
+            self._X_valid_base = np.zeros((valid_table.num_rows, 0))
+
+        self._label_encoder: LabelEncoder | None = None
+        self.y_train = self._encode_label(train_table, fit=True)
+        self.y_valid = self._encode_label(valid_table, fit=False)
+
+    # ------------------------------------------------------------------
+    # Label handling
+    # ------------------------------------------------------------------
+    def _encode_label(self, table: Table, fit: bool) -> np.ndarray:
+        column = table.column(self.label)
+        if column.is_numeric_like:
+            return column.values.astype(np.float64)
+        if fit:
+            self._label_encoder = LabelEncoder().fit(column.values)
+        return self._label_encoder.transform(column.values)
+
+    # ------------------------------------------------------------------
+    # Feature materialisation
+    # ------------------------------------------------------------------
+    def feature_vectors_for_query(
+        self, query: PredicateAwareQuery, relevant_table: Table | None = None
+    ):
+        """Feature values for the query aligned to the train and valid rows."""
+        relevant = relevant_table if relevant_table is not None else self.relevant_table
+        if relevant is None:
+            raise ValueError("No relevant table available to execute the query against")
+        feature_table = execute_query(query, relevant)
+        train_aug = augment_training_table(
+            self._train_table, feature_table, query.keys, query.feature_name, "__candidate__"
+        )
+        valid_aug = augment_training_table(
+            self._valid_table, feature_table, query.keys, query.feature_name, "__candidate__"
+        )
+        return train_aug.column("__candidate__").values, valid_aug.column("__candidate__").values
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def evaluate_matrix(self, extra_train: np.ndarray | None, extra_valid: np.ndarray | None) -> EvaluationResult:
+        """Train the model on base features plus the given extra columns."""
+        X_train = self._stack(self._X_train_base, extra_train)
+        X_valid = self._stack(self._X_valid_base, extra_valid)
+        X_train, X_valid = _impute_pair(X_train, X_valid)
+        model = self.model.clone()
+        model.fit(X_train, self.y_train)
+        return self._score(model, X_valid)
+
+    def evaluate_queries(
+        self, queries: Sequence[PredicateAwareQuery], relevant_table: Table | None = None
+    ) -> EvaluationResult:
+        """Evaluate the model with every query's feature added at once."""
+        extra_train_cols: List[np.ndarray] = []
+        extra_valid_cols: List[np.ndarray] = []
+        for query in queries:
+            train_vec, valid_vec = self.feature_vectors_for_query(query, relevant_table)
+            extra_train_cols.append(train_vec)
+            extra_valid_cols.append(valid_vec)
+        extra_train = np.column_stack(extra_train_cols) if extra_train_cols else None
+        extra_valid = np.column_stack(extra_valid_cols) if extra_valid_cols else None
+        return self.evaluate_matrix(extra_train, extra_valid)
+
+    def evaluate_query(
+        self, query: PredicateAwareQuery, relevant_table: Table | None = None
+    ) -> EvaluationResult:
+        """Evaluate the model with a single query's feature added."""
+        return self.evaluate_queries([query], relevant_table)
+
+    def evaluate_baseline(self) -> EvaluationResult:
+        """Evaluate the model on the base features alone (no augmentation)."""
+        return self.evaluate_matrix(None, None)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _stack(base: np.ndarray, extra: np.ndarray | None) -> np.ndarray:
+        if extra is None:
+            return base.copy()
+        extra = np.asarray(extra, dtype=np.float64)
+        if extra.ndim == 1:
+            extra = extra.reshape(-1, 1)
+        return np.hstack([base, extra])
+
+    def _score(self, model: BaseEstimator, X_valid: np.ndarray) -> EvaluationResult:
+        if self.task == "regression":
+            pred = model.predict(X_valid)
+            value = rmse(self.y_valid, pred)
+            return EvaluationResult(loss=value, metric=value, metric_name="rmse")
+        if self.task == "binary":
+            if hasattr(model, "predict_proba"):
+                proba = model.predict_proba(X_valid)
+                positive = proba[:, -1] if proba.ndim == 2 else proba
+            else:  # pragma: no cover - every classifier has predict_proba
+                positive = model.predict(X_valid)
+            auc = roc_auc_score(self.y_valid, positive)
+            return EvaluationResult(loss=1.0 - auc, metric=auc, metric_name="auc")
+        pred = model.predict(X_valid)
+        f1 = f1_score_macro(self.y_valid, pred)
+        return EvaluationResult(loss=1.0 - f1, metric=f1, metric_name="f1")
+
+
+def _impute_pair(X_train: np.ndarray, X_valid: np.ndarray):
+    """Replace NaNs with the training-column mean in both matrices."""
+    X_train = X_train.copy()
+    X_valid = X_valid.copy()
+    for j in range(X_train.shape[1]):
+        column = X_train[:, j]
+        finite = column[~np.isnan(column)]
+        fill = float(finite.mean()) if finite.size else 0.0
+        column[np.isnan(column)] = fill
+        X_train[:, j] = column
+        valid_column = X_valid[:, j]
+        valid_column[np.isnan(valid_column)] = fill
+        X_valid[:, j] = valid_column
+    return X_train, X_valid

@@ -1,0 +1,61 @@
+"""Performance predictor for query templates (Section VI.C.2, Optimisation 2).
+
+Templates are one-hot encoded over the candidate attribute universe (a bit per
+attribute participating in the WHERE clause).  A ridge regressor is trained on
+the (encoding, proxy score) pairs observed in earlier beam-search layers and
+predicts the proxy score of unseen templates, so only the top-β predicted
+templates per layer are actually evaluated.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.ml.linear import RidgeRegression
+from repro.query.template import QueryTemplate
+
+
+class TemplatePerformancePredictor:
+    """Ridge regression over one-hot template encodings."""
+
+    def __init__(self, universe: Sequence[str], alpha: float = 1.0):
+        self.universe = list(universe)
+        self.alpha = alpha
+        self._encodings: List[np.ndarray] = []
+        self._scores: List[float] = []
+        self._model: RidgeRegression | None = None
+
+    @property
+    def n_observations(self) -> int:
+        return len(self._scores)
+
+    def observe(self, template: QueryTemplate, score: float) -> None:
+        """Record an evaluated template and its (proxy) score."""
+        self._encodings.append(template.encode(self.universe))
+        self._scores.append(float(score))
+        self._model = None  # refit lazily
+
+    def _ensure_fitted(self) -> bool:
+        if self._model is not None:
+            return True
+        if len(self._scores) < 2:
+            return False
+        X = np.vstack(self._encodings)
+        y = np.asarray(self._scores, dtype=np.float64)
+        self._model = RidgeRegression(alpha=self.alpha).fit(X, y)
+        return True
+
+    def predict(self, template: QueryTemplate) -> float:
+        """Predicted score of an unseen template (mean score if not trainable)."""
+        if not self._ensure_fitted():
+            return float(np.mean(self._scores)) if self._scores else 0.0
+        encoding = template.encode(self.universe).reshape(1, -1)
+        return float(self._model.predict(encoding)[0])
+
+    def rank(self, templates: Sequence[QueryTemplate]) -> List[Tuple[QueryTemplate, float]]:
+        """Templates sorted by predicted score, best first."""
+        scored = [(t, self.predict(t)) for t in templates]
+        scored.sort(key=lambda pair: -pair[1])
+        return scored

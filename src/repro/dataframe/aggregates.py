@@ -1,0 +1,175 @@
+"""Aggregation functions.
+
+The paper's query templates use the following aggregation function set
+(Table II):  SUM, MIN, MAX, COUNT, AVG, COUNT DISTINCT, VAR, VAR_SAMPLE, STD,
+STD_SAMPLE, ENTROPY, KURTOSIS, MODE, MAD and MEDIAN.  Every function maps a
+(possibly empty) group of values to a single float.  Missing values are
+ignored; empty groups yield ``NaN`` (except COUNT variants which yield 0).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.dataframe.column import Column
+
+
+def _clean(values: np.ndarray) -> np.ndarray:
+    """Drop NaNs from a float array."""
+    return values[~np.isnan(values)]
+
+
+def agg_sum(values: np.ndarray) -> float:
+    v = _clean(values)
+    return float(v.sum()) if v.size else float("nan")
+
+
+def agg_min(values: np.ndarray) -> float:
+    v = _clean(values)
+    return float(v.min()) if v.size else float("nan")
+
+
+def agg_max(values: np.ndarray) -> float:
+    v = _clean(values)
+    return float(v.max()) if v.size else float("nan")
+
+
+def agg_count(values: np.ndarray) -> float:
+    return float(_clean(values).size)
+
+
+def agg_avg(values: np.ndarray) -> float:
+    v = _clean(values)
+    return float(v.mean()) if v.size else float("nan")
+
+
+def agg_count_distinct(values: np.ndarray) -> float:
+    v = _clean(values)
+    return float(np.unique(v).size)
+
+
+def agg_var(values: np.ndarray) -> float:
+    v = _clean(values)
+    return float(v.var()) if v.size else float("nan")
+
+
+def agg_var_sample(values: np.ndarray) -> float:
+    v = _clean(values)
+    return float(v.var(ddof=1)) if v.size > 1 else float("nan")
+
+
+def agg_std(values: np.ndarray) -> float:
+    v = _clean(values)
+    return float(v.std()) if v.size else float("nan")
+
+
+def agg_std_sample(values: np.ndarray) -> float:
+    v = _clean(values)
+    return float(v.std(ddof=1)) if v.size > 1 else float("nan")
+
+
+def agg_entropy(values: np.ndarray) -> float:
+    """Shannon entropy (natural log) of the empirical value distribution."""
+    v = _clean(values)
+    if not v.size:
+        return float("nan")
+    _, counts = np.unique(v, return_counts=True)
+    p = counts / counts.sum()
+    return float(-(p * np.log(p)).sum())
+
+
+def agg_kurtosis(values: np.ndarray) -> float:
+    """Excess kurtosis (Fisher definition)."""
+    v = _clean(values)
+    if v.size < 2:
+        return float("nan")
+    std = v.std()
+    if std == 0:
+        return 0.0
+    m4 = ((v - v.mean()) ** 4).mean()
+    return float(m4 / std**4 - 3.0)
+
+
+def agg_mode(values: np.ndarray) -> float:
+    """Most frequent value (ties broken by the smaller value)."""
+    v = _clean(values)
+    if not v.size:
+        return float("nan")
+    uniques, counts = np.unique(v, return_counts=True)
+    return float(uniques[np.argmax(counts)])
+
+
+def agg_mad(values: np.ndarray) -> float:
+    """Median absolute deviation from the median."""
+    v = _clean(values)
+    if not v.size:
+        return float("nan")
+    med = np.median(v)
+    return float(np.median(np.abs(v - med)))
+
+
+def agg_median(values: np.ndarray) -> float:
+    v = _clean(values)
+    return float(np.median(v)) if v.size else float("nan")
+
+
+AGGREGATE_FUNCTIONS: Dict[str, Callable[[np.ndarray], float]] = {
+    "SUM": agg_sum,
+    "MIN": agg_min,
+    "MAX": agg_max,
+    "COUNT": agg_count,
+    "AVG": agg_avg,
+    "COUNT_DISTINCT": agg_count_distinct,
+    "VAR": agg_var,
+    "VAR_SAMPLE": agg_var_sample,
+    "STD": agg_std,
+    "STD_SAMPLE": agg_std_sample,
+    "ENTROPY": agg_entropy,
+    "KURTOSIS": agg_kurtosis,
+    "MODE": agg_mode,
+    "MAD": agg_mad,
+    "MEDIAN": agg_median,
+}
+
+#: Aggregations that are meaningful on categorical columns (after hashing the
+#: categories to integer codes): counting and diversity measures.
+CATEGORICAL_SAFE_AGGREGATES = {"COUNT", "COUNT_DISTINCT", "ENTROPY", "MODE"}
+
+#: Default aggregation set used when a template does not specify one --
+#: matches the function list in Table II of the paper.
+DEFAULT_AGGREGATES = list(AGGREGATE_FUNCTIONS.keys())
+
+
+def aggregate(name: str, values: np.ndarray) -> float:
+    """Apply the aggregation function *name* to a float array of group values."""
+    key = normalise_aggregate_name(name)
+    if key not in AGGREGATE_FUNCTIONS:
+        raise KeyError(f"Unknown aggregation function {name!r}")
+    return AGGREGATE_FUNCTIONS[key](np.asarray(values, dtype=np.float64))
+
+
+def normalise_aggregate_name(name: str) -> str:
+    """Canonicalise an aggregation function name ("count distinct" -> "COUNT_DISTINCT")."""
+    return name.strip().upper().replace(" ", "_")
+
+
+def column_to_aggregable(column: Column) -> np.ndarray:
+    """Convert a column to a float array suitable for aggregation.
+
+    Numeric-like columns are used as-is.  Categorical columns are converted
+    to stable integer codes so COUNT / COUNT_DISTINCT / ENTROPY / MODE remain
+    meaningful.
+    """
+    if column.is_numeric_like:
+        return column.values
+    codes = np.full(len(column), np.nan, dtype=np.float64)
+    mapping: Dict[object, int] = {}
+    for i, v in enumerate(column.values):
+        if v is None:
+            continue
+        if v not in mapping:
+            mapping[v] = len(mapping)
+        codes[i] = mapping[v]
+    return codes

@@ -1,0 +1,88 @@
+"""Hash group-by with aggregation.
+
+This is the execution engine behind every generated query: after the WHERE
+clause has filtered the relevant table, rows are grouped by the foreign-key
+column(s) and a single aggregation function is applied to the aggregation
+attribute, producing a one-row-per-key feature table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.dataframe.aggregates import (
+    AGGREGATE_FUNCTIONS,
+    column_to_aggregable,
+    normalise_aggregate_name,
+)
+from repro.dataframe.column import Column, DType
+from repro.dataframe.table import Table
+
+
+def group_indices(table: Table, keys: Sequence[str]) -> Dict[tuple, np.ndarray]:
+    """Map each distinct key tuple to the integer row positions in its group."""
+    if not keys:
+        raise ValueError("group_indices needs at least one key column")
+    key_columns = [table.column(k) for k in keys]
+    buckets: Dict[tuple, List[int]] = {}
+    n = table.num_rows
+    normalised = []
+    for col in key_columns:
+        if col.is_numeric_like:
+            normalised.append([None if np.isnan(v) else float(v) for v in col.values])
+        else:
+            normalised.append(list(col.values))
+    for i in range(n):
+        key = tuple(values[i] for values in normalised)
+        buckets.setdefault(key, []).append(i)
+    return {k: np.asarray(v, dtype=np.int64) for k, v in buckets.items()}
+
+
+def group_by_aggregate(
+    table: Table,
+    keys: Sequence[str],
+    agg_attr: str,
+    agg_func: str,
+    output_name: str = "feature",
+) -> Table:
+    """``SELECT keys, agg_func(agg_attr) AS output_name FROM table GROUP BY keys``.
+
+    Returns a table with one row per distinct key combination, the key
+    columns preserved with their original dtypes, plus a numeric feature
+    column.
+    """
+    func_name = normalise_aggregate_name(agg_func)
+    if func_name not in AGGREGATE_FUNCTIONS:
+        raise KeyError(f"Unknown aggregation function {agg_func!r}")
+    func = AGGREGATE_FUNCTIONS[func_name]
+
+    groups = group_indices(table, keys)
+    agg_values = column_to_aggregable(table.column(agg_attr))
+
+    key_columns = [table.column(k) for k in keys]
+    group_keys = list(groups.keys())
+    feature = np.empty(len(group_keys), dtype=np.float64)
+    for row, key in enumerate(group_keys):
+        idx = groups[key]
+        feature[row] = func(agg_values[idx])
+
+    out_columns: List[Column] = []
+    for pos, key_name in enumerate(keys):
+        source = key_columns[pos]
+        values = [key[pos] for key in group_keys]
+        if source.is_numeric_like:
+            data = np.asarray(
+                [np.nan if v is None else v for v in values], dtype=np.float64
+            )
+            out_columns.append(Column(key_name, data, dtype=source.dtype))
+        else:
+            out_columns.append(Column(key_name, values, dtype=DType.CATEGORICAL))
+    out_columns.append(Column(output_name, feature, dtype=DType.NUMERIC))
+    return Table(out_columns)
+
+
+def group_sizes(table: Table, keys: Sequence[str]) -> Dict[tuple, int]:
+    """Number of rows per key group (useful for dataset sanity checks)."""
+    return {k: int(v.size) for k, v in group_indices(table, keys).items()}

@@ -1,0 +1,274 @@
+"""The :class:`Table` container: an ordered collection of equally sized columns."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.dataframe.column import Column, DType
+
+
+class Table:
+    """A column-oriented table.
+
+    Tables are lightweight: every operation (filter, take, select, join)
+    returns a new ``Table`` whose columns share or copy the underlying numpy
+    arrays.  Row order is meaningful and preserved by all operations.
+    """
+
+    def __init__(self, columns: Sequence[Column] | Mapping[str, Column] | None = None):
+        self._columns: Dict[str, Column] = {}
+        if columns is None:
+            columns = []
+        if isinstance(columns, Mapping):
+            columns = list(columns.values())
+        n_rows = None
+        for col in columns:
+            if not isinstance(col, Column):
+                raise TypeError(f"Table expects Column objects, got {type(col).__name__}")
+            if col.name in self._columns:
+                raise ValueError(f"Duplicate column name {col.name!r}")
+            if n_rows is None:
+                n_rows = len(col)
+            elif len(col) != n_rows:
+                raise ValueError(
+                    f"Column {col.name!r} has {len(col)} rows, expected {n_rows}"
+                )
+            self._columns[col.name] = col
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Iterable], dtypes: Mapping[str, DType | str] | None = None) -> "Table":
+        """Build a table from ``{column name: values}``.
+
+        ``dtypes`` optionally forces the dtype of specific columns; all other
+        columns have their dtype inferred from the values.
+        """
+        dtypes = dtypes or {}
+        columns = [Column(name, values, dtype=dtypes.get(name)) for name, values in data.items()]
+        return cls(columns)
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[Mapping[str, object]], column_order: Sequence[str] | None = None) -> "Table":
+        """Build a table from a list of row dictionaries."""
+        if not rows:
+            return cls([])
+        names = list(column_order) if column_order is not None else list(rows[0].keys())
+        data = {name: [row.get(name) for row in rows] for name in names}
+        return cls.from_dict(data)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        if not self._columns:
+            return 0
+        return len(next(iter(self._columns.values())))
+
+    @property
+    def num_columns(self) -> int:
+        return len(self._columns)
+
+    @property
+    def column_names(self) -> List[str]:
+        return list(self._columns.keys())
+
+    @property
+    def shape(self) -> tuple:
+        return (self.num_rows, self.num_columns)
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __getitem__(self, name: str) -> Column:
+        return self.column(name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Table(rows={self.num_rows}, columns={self.column_names})"
+
+    def column(self, name: str) -> Column:
+        """Return the column called *name* (raises ``KeyError`` if absent)."""
+        if name not in self._columns:
+            raise KeyError(f"No column named {name!r}; available: {self.column_names}")
+        return self._columns[name]
+
+    def dtype_of(self, name: str) -> DType:
+        return self.column(name).dtype
+
+    def schema(self) -> Dict[str, DType]:
+        """Mapping of column name to dtype."""
+        return {name: col.dtype for name, col in self._columns.items()}
+
+    # ------------------------------------------------------------------
+    # Column-wise operations
+    # ------------------------------------------------------------------
+    def select(self, names: Sequence[str]) -> "Table":
+        """Project onto the given columns, in the given order."""
+        return Table([self.column(name) for name in names])
+
+    def drop(self, names: Sequence[str] | str) -> "Table":
+        """Return a table without the given column(s)."""
+        if isinstance(names, str):
+            names = [names]
+        missing = [n for n in names if n not in self._columns]
+        if missing:
+            raise KeyError(f"Cannot drop missing columns: {missing}")
+        keep = [c for n, c in self._columns.items() if n not in set(names)]
+        return Table(keep)
+
+    def with_column(self, column: Column) -> "Table":
+        """Return a table with *column* appended (or replaced if it exists)."""
+        if self._columns and len(column) != self.num_rows:
+            raise ValueError(
+                f"Column {column.name!r} has {len(column)} rows, table has {self.num_rows}"
+            )
+        cols = [c for n, c in self._columns.items() if n != column.name]
+        cols.append(column)
+        return Table(cols)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        """Rename columns according to ``{old: new}``."""
+        cols = []
+        for name, col in self._columns.items():
+            cols.append(col.rename(mapping.get(name, name)))
+        return Table(cols)
+
+    # ------------------------------------------------------------------
+    # Row-wise operations
+    # ------------------------------------------------------------------
+    def filter(self, mask) -> "Table":
+        """Keep only rows where *mask* (boolean array) is True."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape[0] != self.num_rows:
+            raise ValueError(f"Mask length {mask.shape[0]} != number of rows {self.num_rows}")
+        return Table([col.filter(mask) for col in self._columns.values()])
+
+    def take(self, indices) -> "Table":
+        """Return rows at the given integer positions (repeats allowed)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return Table([col.take(indices) for col in self._columns.values()])
+
+    def head(self, n: int = 5) -> "Table":
+        n = min(n, self.num_rows)
+        return self.take(np.arange(n))
+
+    def sample(self, n: int, seed: int | None = None, replace: bool = False) -> "Table":
+        """Random sample of *n* rows."""
+        rng = np.random.default_rng(seed)
+        if not replace:
+            n = min(n, self.num_rows)
+        indices = rng.choice(self.num_rows, size=n, replace=replace)
+        return self.take(indices)
+
+    def sort_by(self, name: str, ascending: bool = True) -> "Table":
+        """Sort rows by a numeric-like column."""
+        col = self.column(name)
+        if not col.is_numeric_like:
+            order = np.argsort(np.asarray([str(v) for v in col.values]))
+        else:
+            order = np.argsort(col.values, kind="stable")
+        if not ascending:
+            order = order[::-1]
+        return self.take(order)
+
+    def row(self, index: int) -> Dict[str, object]:
+        """Return a single row as a dictionary."""
+        return {name: col.values[index] for name, col in self._columns.items()}
+
+    def iter_rows(self):
+        """Iterate over rows as dictionaries (slow; for tests and IO only)."""
+        for i in range(self.num_rows):
+            yield self.row(i)
+
+    # ------------------------------------------------------------------
+    # Joins and concatenation
+    # ------------------------------------------------------------------
+    def left_join(self, other: "Table", on: Sequence[str] | str, suffix: str = "_right") -> "Table":
+        """Left join *other* onto this table on the given key column(s).
+
+        When a key appears several times in *other*, the first matching row
+        wins (FeatAug's generated feature tables always have one row per key,
+        so this is only a safety net).  Rows without a match get missing
+        values in the joined columns.
+        """
+        if isinstance(on, str):
+            on = [on]
+        for key in on:
+            if key not in self or key not in other:
+                raise KeyError(f"Join key {key!r} must exist in both tables")
+
+        right_index: Dict[tuple, int] = {}
+        right_keys = [other.column(k) for k in on]
+        for i in range(other.num_rows):
+            key = tuple(_normalise_key(col.values[i], col) for col in right_keys)
+            if key not in right_index:
+                right_index[key] = i
+
+        left_keys = [self.column(k) for k in on]
+        match = np.full(self.num_rows, -1, dtype=np.int64)
+        for i in range(self.num_rows):
+            key = tuple(_normalise_key(col.values[i], col) for col in left_keys)
+            match[i] = right_index.get(key, -1)
+
+        new_columns = list(self._columns.values())
+        existing = set(self.column_names)
+        for name in other.column_names:
+            if name in on:
+                continue
+            col = other.column(name)
+            out_name = name if name not in existing else name + suffix
+            gathered = _gather_with_missing(col, match)
+            new_columns.append(Column(out_name, gathered, dtype=col.dtype))
+            existing.add(out_name)
+        return Table(new_columns)
+
+    def concat_rows(self, other: "Table") -> "Table":
+        """Stack another table with the same schema below this one."""
+        if self.num_columns == 0:
+            return Table([c.copy() for c in other._columns.values()])
+        if self.column_names != other.column_names:
+            raise ValueError("concat_rows requires identical column names and order")
+        cols = []
+        for name in self.column_names:
+            a, b = self.column(name), other.column(name)
+            if a.dtype != b.dtype:
+                raise ValueError(f"Column {name!r} dtype mismatch: {a.dtype} vs {b.dtype}")
+            if a.is_numeric_like:
+                values = np.concatenate([a.values, b.values])
+            else:
+                values = np.concatenate([a.values, b.values])
+            cols.append(Column(name, values, dtype=a.dtype))
+        return Table(cols)
+
+    def copy(self) -> "Table":
+        return Table([c.copy() for c in self._columns.values()])
+
+
+def _normalise_key(value, column: Column):
+    """Normalise a join key value so float/int representations hash alike."""
+    if column.is_numeric_like:
+        v = float(value)
+        if np.isnan(v):
+            return None
+        return v
+    return value
+
+
+def _gather_with_missing(column: Column, match: np.ndarray):
+    """Gather ``column[match]`` treating ``match == -1`` as a missing value."""
+    if column.is_numeric_like:
+        out = np.full(match.shape[0], np.nan, dtype=np.float64)
+        valid = match >= 0
+        out[valid] = column.values[match[valid]]
+        return out
+    out = np.empty(match.shape[0], dtype=object)
+    for i, m in enumerate(match):
+        out[i] = column.values[m] if m >= 0 else None
+    return out

@@ -1,0 +1,33 @@
+"""Synthetic datasets mirroring the paper's evaluation workloads.
+
+The real datasets (Tmall, Instacart, Student, Merchant, Covtype, Household)
+are Kaggle / Tianchi competition data that cannot be downloaded in this
+offline environment.  Each generator here reproduces the corresponding
+dataset's *shape*: its schema, the one-to-many cardinality between training
+and relevant table, the task type and -- crucially -- a planted signal that is
+only visible through predicate-aware aggregation (e.g. "spend in a target
+department during the recent window predicts the label").  That planted
+signal is what makes the paper's comparison meaningful: Featuretools'
+predicate-free aggregates can only see a diluted version of it.
+"""
+
+from repro.datasets.base import DatasetBundle
+from repro.datasets.registry import DATASET_NAMES, load_dataset
+from repro.datasets.tmall import make_tmall
+from repro.datasets.instacart import make_instacart
+from repro.datasets.student import make_student
+from repro.datasets.merchant import make_merchant
+from repro.datasets.covtype import make_covtype
+from repro.datasets.household import make_household
+
+__all__ = [
+    "DatasetBundle",
+    "DATASET_NAMES",
+    "load_dataset",
+    "make_tmall",
+    "make_instacart",
+    "make_student",
+    "make_merchant",
+    "make_covtype",
+    "make_household",
+]

@@ -1,0 +1,67 @@
+"""Dataset bundle: everything an experiment needs about one dataset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.dataframe.table import Table
+
+
+@dataclass
+class DatasetBundle:
+    """A training table, its relevant table and the experiment metadata.
+
+    Attributes
+    ----------
+    train:
+        The training table ``D`` (primary key, base features, label).
+    relevant:
+        The relevant table ``R`` with a foreign key referring to ``D``.
+    keys:
+        Foreign-key column(s) shared by ``D`` and ``R``.
+    label_col:
+        Name of the label column in ``D``.
+    task:
+        ``"binary"``, ``"multiclass"`` or ``"regression"``.
+    metric_name:
+        The paper's reported metric for this dataset (auc / f1 / rmse).
+    candidate_attrs:
+        Attributes of ``R`` that may be useful in WHERE clauses (the paper's
+        ``attr`` set, Table II).
+    agg_attrs:
+        Attributes of ``R`` available for aggregation (the paper's ``A``).
+    """
+
+    name: str
+    train: Table
+    relevant: Table
+    keys: List[str]
+    label_col: str
+    task: str
+    metric_name: str
+    candidate_attrs: List[str] = field(default_factory=list)
+    agg_attrs: List[str] = field(default_factory=list)
+    description: str = ""
+
+    @property
+    def relationship(self) -> str:
+        """"one-to-many" or "one-to-one" depending on relevant-table cardinality."""
+        if self.relevant.num_rows > self.train.num_rows:
+            return "one-to-many"
+        return "one-to-one"
+
+    def summary(self) -> dict:
+        """Dataset statistics in the style of Table I / IV."""
+        return {
+            "name": self.name,
+            "task": self.task,
+            "metric": self.metric_name,
+            "n_train_rows": self.train.num_rows,
+            "n_relevant_rows": self.relevant.num_rows,
+            "n_relevant_cols": self.relevant.num_columns,
+            "n_candidate_attrs": len(self.candidate_attrs),
+            "n_agg_attrs": len(self.agg_attrs),
+            "keys": list(self.keys),
+            "relationship": self.relationship,
+        }

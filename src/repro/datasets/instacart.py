@@ -1,0 +1,111 @@
+"""Synthetic Instacart: will the customer buy a banana product next order?
+
+The real Instacart dataset joins historical orders with product and
+department tables.  The synthetic relevant table is an order-item log with
+product name, department, aisle, reorder flag, quantity, price and order
+timestamp.
+
+Planted signal: the number of produce-department items bought in the last 45
+days (plus a boost when the product name contains "banana") drives the label,
+so a department equality predicate combined with a recent time window exposes
+it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataframe.column import DType
+from repro.datasets.base import DatasetBundle
+from repro.datasets.synthetic import (
+    binary_label_from_signal,
+    build_table,
+    choice_column,
+    grouped_sum,
+    make_entity_ids,
+    random_timestamps,
+    recent_cutoff,
+)
+
+DEPARTMENTS = ["produce", "dairy", "bakery", "frozen", "beverages", "snacks", "household"]
+AISLES = [f"aisle_{i}" for i in range(15)]
+PRODUCTS = [
+    "banana", "organic banana", "strawberries", "whole milk", "sourdough bread",
+    "frozen pizza", "sparkling water", "tortilla chips", "paper towels", "avocado",
+    "baby spinach", "greek yogurt", "orange juice", "dark chocolate", "ground coffee",
+]
+
+
+def make_instacart(n_users: int = 1200, events_per_user: int = 25, seed: int = 1) -> DatasetBundle:
+    """Generate the synthetic Instacart banana-reorder dataset."""
+    rng = np.random.default_rng(seed)
+    user_ids = make_entity_ids("user", n_users)
+
+    n_prior_orders = rng.integers(3, 40, size=n_users).astype(np.float64)
+    days_since_first_order = rng.integers(30, 365, size=n_users).astype(np.float64)
+
+    n_events = n_users * events_per_user
+    event_users = list(rng.choice(user_ids, size=n_events))
+    product = choice_column(rng, n_events, PRODUCTS)
+    department = []
+    for p in product:
+        if p in ("banana", "organic banana", "strawberries", "avocado", "baby spinach"):
+            department.append("produce")
+        elif p in ("whole milk", "greek yogurt"):
+            department.append("dairy")
+        else:
+            department.append(str(rng.choice(DEPARTMENTS[2:])))
+    aisle = choice_column(rng, n_events, AISLES)
+    reordered = rng.integers(0, 2, size=n_events).astype(np.float64)
+    quantity = rng.integers(1, 6, size=n_events).astype(np.float64)
+    price = np.round(rng.lognormal(1.2, 0.6, size=n_events), 2)
+    timestamps = random_timestamps(rng, n_events, days=180)
+
+    # Planted signal: banana purchases inside the produce department during
+    # the last 45 days.  The restriction to a narrow product subset and a
+    # recent window is what makes predicate-aware aggregation necessary --
+    # unrestricted aggregates only see a heavily diluted version of it.
+    cutoff = recent_cutoff(45)
+    produce_recent = (np.asarray(department, dtype=object) == "produce") & (timestamps >= cutoff)
+    banana_mask = produce_recent & np.asarray(["banana" in p for p in product], dtype=bool)
+    signal = grouped_sum(user_ids, np.asarray(event_users, dtype=object), quantity, banana_mask)
+    signal = signal + 0.3 * grouped_sum(
+        user_ids, np.asarray(event_users, dtype=object), np.ones(n_events), produce_recent
+    )
+
+    label = binary_label_from_signal(
+        rng, signal, base_contribution=n_prior_orders, noise=0.5, positive_rate=0.3
+    )
+
+    train = build_table(
+        {
+            "user_id": (user_ids, DType.CATEGORICAL),
+            "n_prior_orders": (n_prior_orders, DType.NUMERIC),
+            "days_since_first_order": (days_since_first_order, DType.NUMERIC),
+            "label": (label, DType.NUMERIC),
+        }
+    )
+    relevant = build_table(
+        {
+            "user_id": (event_users, DType.CATEGORICAL),
+            "product_name": (product, DType.CATEGORICAL),
+            "department": (department, DType.CATEGORICAL),
+            "aisle": (aisle, DType.CATEGORICAL),
+            "reordered": (reordered, DType.NUMERIC),
+            "quantity": (quantity, DType.NUMERIC),
+            "price": (price, DType.NUMERIC),
+            "order_timestamp": (timestamps, DType.DATETIME),
+        }
+    )
+    return DatasetBundle(
+        name="instacart",
+        train=train,
+        relevant=relevant,
+        keys=["user_id"],
+        label_col="label",
+        task="binary",
+        metric_name="auc",
+        candidate_attrs=["department", "aisle", "reordered", "quantity", "price", "order_timestamp"],
+        agg_attrs=["quantity", "price", "reordered"],
+        description="Banana purchase prediction from order history (synthetic Instacart).",
+    )

@@ -1,0 +1,88 @@
+"""Synthetic Merchant: regression on card-holder loyalty (Elo competition).
+
+The real Merchant dataset (Elo Merchant Category Recommendation) predicts a
+continuous loyalty score per card from historical transactions joined with
+merchant metadata.  The synthetic relevant table is a transaction log with
+merchant category, city, instalments, purchase amount and purchase date.
+
+Planted signal: the total purchase amount in the target category during the
+last 60 days drives the loyalty score, so a category equality predicate plus
+a recent date range predicate exposes it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataframe.column import DType
+from repro.datasets.base import DatasetBundle
+from repro.datasets.synthetic import (
+    build_table,
+    choice_column,
+    grouped_sum,
+    make_entity_ids,
+    random_timestamps,
+    recent_cutoff,
+    regression_label_from_signal,
+)
+
+CATEGORIES = ["grocery", "fuel", "restaurants", "travel", "electronics", "clothing", "pharmacy", "entertainment"]
+CITIES = [f"city_{i}" for i in range(20)]
+
+
+def make_merchant(n_cards: int = 1200, events_per_card: int = 25, seed: int = 3) -> DatasetBundle:
+    """Generate the synthetic Merchant loyalty-score regression dataset."""
+    rng = np.random.default_rng(seed)
+    card_ids = make_entity_ids("card", n_cards)
+
+    feature_1 = rng.integers(1, 6, size=n_cards).astype(np.float64)
+    feature_2 = rng.integers(1, 4, size=n_cards).astype(np.float64)
+    first_active_month = rng.integers(1, 72, size=n_cards).astype(np.float64)
+
+    n_events = n_cards * events_per_card
+    event_cards = list(rng.choice(card_ids, size=n_events))
+    category = choice_column(rng, n_events, CATEGORIES)
+    city = choice_column(rng, n_events, CITIES)
+    installments = rng.integers(0, 12, size=n_events).astype(np.float64)
+    purchase_amount = np.round(rng.lognormal(2.5, 1.0, size=n_events), 2)
+    purchase_date = random_timestamps(rng, n_events, days=240)
+
+    cutoff = recent_cutoff(60)
+    travel_recent = (np.asarray(category, dtype=object) == "travel") & (purchase_date >= cutoff)
+    signal = grouped_sum(card_ids, np.asarray(event_cards, dtype=object), purchase_amount, travel_recent)
+
+    label = regression_label_from_signal(
+        rng, signal, base_contribution=first_active_month, noise=1.0, scale=2.0, offset=0.0
+    )
+
+    train = build_table(
+        {
+            "card_id": (card_ids, DType.CATEGORICAL),
+            "feature_1": (feature_1, DType.NUMERIC),
+            "feature_2": (feature_2, DType.NUMERIC),
+            "first_active_month": (first_active_month, DType.NUMERIC),
+            "label": (label, DType.NUMERIC),
+        }
+    )
+    relevant = build_table(
+        {
+            "card_id": (event_cards, DType.CATEGORICAL),
+            "category": (category, DType.CATEGORICAL),
+            "city": (city, DType.CATEGORICAL),
+            "installments": (installments, DType.NUMERIC),
+            "purchase_amount": (purchase_amount, DType.NUMERIC),
+            "purchase_date": (purchase_date, DType.DATETIME),
+        }
+    )
+    return DatasetBundle(
+        name="merchant",
+        train=train,
+        relevant=relevant,
+        keys=["card_id"],
+        label_col="label",
+        task="regression",
+        metric_name="rmse",
+        candidate_attrs=["category", "city", "installments", "purchase_amount", "purchase_date"],
+        agg_attrs=["purchase_amount", "installments"],
+        description="Loyalty-score regression from transactions (synthetic Elo Merchant).",
+    )

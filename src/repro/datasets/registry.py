@@ -1,0 +1,61 @@
+"""Dataset registry: load any of the paper's six datasets by name.
+
+``scale`` multiplies the number of entities (and thereby the relevant-table
+rows), letting benchmarks trade fidelity for speed; ``seed`` controls the
+generator so repeated calls are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.datasets.base import DatasetBundle
+from repro.datasets.covtype import make_covtype
+from repro.datasets.household import make_household
+from repro.datasets.instacart import make_instacart
+from repro.datasets.merchant import make_merchant
+from repro.datasets.student import make_student
+from repro.datasets.tmall import make_tmall
+
+DATASET_NAMES = ("tmall", "instacart", "student", "merchant", "covtype", "household")
+
+_ENTITY_DEFAULTS: Dict[str, int] = {
+    "tmall": 1200,
+    "instacart": 1200,
+    "student": 1000,
+    "merchant": 1200,
+    "covtype": 2000,
+    "household": 1500,
+}
+
+
+def load_dataset(name: str, scale: float = 1.0, seed: int | None = None) -> DatasetBundle:
+    """Instantiate a synthetic dataset by its paper name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`DATASET_NAMES` (case insensitive).
+    scale:
+        Multiplier on the number of entities (users / sessions / rows).
+        ``scale=0.1`` produces a ten-times-smaller dataset for fast tests.
+    seed:
+        Random seed; defaults to a per-dataset constant so each dataset gets
+        a different but reproducible draw.
+    """
+    key = name.strip().lower()
+    if key not in DATASET_NAMES:
+        raise ValueError(f"Unknown dataset {name!r}; expected one of {DATASET_NAMES}")
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    n_entities = max(50, int(_ENTITY_DEFAULTS[key] * scale))
+
+    makers: Dict[str, Callable[..., DatasetBundle]] = {
+        "tmall": lambda: make_tmall(n_users=n_entities, seed=0 if seed is None else seed),
+        "instacart": lambda: make_instacart(n_users=n_entities, seed=1 if seed is None else seed),
+        "student": lambda: make_student(n_sessions=n_entities, seed=2 if seed is None else seed),
+        "merchant": lambda: make_merchant(n_cards=n_entities, seed=3 if seed is None else seed),
+        "covtype": lambda: make_covtype(n_rows=n_entities, seed=4 if seed is None else seed),
+        "household": lambda: make_household(n_rows=n_entities, seed=5 if seed is None else seed),
+    }
+    return makers[key]()

@@ -1,0 +1,82 @@
+"""Synthetic Student: predict correct answers from game-play event streams.
+
+The real Student dataset (Kaggle "Predict Student Performance from Game
+Play") attaches a time-series event log to each game session.  The synthetic
+relevant table is an event stream per session with event type, room, level,
+hover duration and elapsed time.
+
+Planted signal: the total hover duration on *notebook-click* events in late
+levels drives the label, so an equality predicate on the event type combined
+with a range predicate on the level exposes it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataframe.column import DType
+from repro.datasets.base import DatasetBundle
+from repro.datasets.synthetic import (
+    binary_label_from_signal,
+    build_table,
+    choice_column,
+    grouped_sum,
+    make_entity_ids,
+)
+
+EVENT_TYPES = ["navigate_click", "person_click", "cutscene_click", "object_click", "notebook_click", "map_hover"]
+ROOMS = ["tunic.historicalsociety", "tunic.library", "tunic.kohlcenter", "tunic.capitol"]
+
+
+def make_student(n_sessions: int = 1000, events_per_session: int = 30, seed: int = 2) -> DatasetBundle:
+    """Generate the synthetic Student game-play dataset."""
+    rng = np.random.default_rng(seed)
+    session_ids = make_entity_ids("session", n_sessions)
+
+    grade = rng.integers(5, 9, size=n_sessions).astype(np.float64)
+    prior_accuracy = np.clip(rng.normal(0.6, 0.15, size=n_sessions), 0, 1)
+
+    n_events = n_sessions * events_per_session
+    event_sessions = list(rng.choice(session_ids, size=n_events))
+    event_type = choice_column(rng, n_events, EVENT_TYPES, p=[0.3, 0.2, 0.1, 0.2, 0.12, 0.08])
+    room = choice_column(rng, n_events, ROOMS)
+    level = rng.integers(0, 23, size=n_events).astype(np.float64)
+    hover_duration = np.round(rng.exponential(2.0, size=n_events), 3)
+    elapsed_time = np.round(rng.uniform(0, 3600, size=n_events), 1)
+
+    notebook_late = (np.asarray(event_type, dtype=object) == "notebook_click") & (level >= 13)
+    signal = grouped_sum(
+        session_ids, np.asarray(event_sessions, dtype=object), hover_duration, notebook_late
+    )
+    label = binary_label_from_signal(rng, signal, base_contribution=prior_accuracy, positive_rate=0.5)
+
+    train = build_table(
+        {
+            "session_id": (session_ids, DType.CATEGORICAL),
+            "grade": (grade, DType.NUMERIC),
+            "prior_accuracy": (prior_accuracy, DType.NUMERIC),
+            "label": (label, DType.NUMERIC),
+        }
+    )
+    relevant = build_table(
+        {
+            "session_id": (event_sessions, DType.CATEGORICAL),
+            "event_type": (event_type, DType.CATEGORICAL),
+            "room": (room, DType.CATEGORICAL),
+            "level": (level, DType.NUMERIC),
+            "hover_duration": (hover_duration, DType.NUMERIC),
+            "elapsed_time": (elapsed_time, DType.NUMERIC),
+        }
+    )
+    return DatasetBundle(
+        name="student",
+        train=train,
+        relevant=relevant,
+        keys=["session_id"],
+        label_col="label",
+        task="binary",
+        metric_name="auc",
+        candidate_attrs=["event_type", "room", "level", "hover_duration", "elapsed_time"],
+        agg_attrs=["hover_duration", "elapsed_time", "level"],
+        description="Correct-answer prediction from game-play events (synthetic Student).",
+    )

@@ -1,0 +1,32 @@
+"""Experiment harness: the code behind every table and figure reproduction.
+
+* :mod:`repro.experiments.runner` -- run one (dataset, method, model)
+  scenario end to end and report the test metric.
+* :mod:`repro.experiments.scaling` -- timing sweeps for the scalability
+  figures (7, 8, 9).
+* :mod:`repro.experiments.reporting` -- plain-text table formatting shared by
+  the benchmark modules and EXPERIMENTS.md generation.
+* :mod:`repro.experiments.scenarios` -- the scenario grids and the paper's
+  reference numbers used for shape comparison.
+"""
+
+from repro.experiments.runner import MethodResult, run_method, METHOD_NAMES
+from repro.experiments.reporting import format_results_table, format_timing_table
+from repro.experiments.scaling import ScalingPoint, run_scaling_columns, run_scaling_rows_relevant, run_scaling_rows_train
+from repro.experiments.scenarios import PAPER_TABLE3, PAPER_TABLE6, PAPER_TABLE7, PAPER_TABLE8
+
+__all__ = [
+    "MethodResult",
+    "run_method",
+    "METHOD_NAMES",
+    "format_results_table",
+    "format_timing_table",
+    "ScalingPoint",
+    "run_scaling_columns",
+    "run_scaling_rows_relevant",
+    "run_scaling_rows_train",
+    "PAPER_TABLE3",
+    "PAPER_TABLE6",
+    "PAPER_TABLE7",
+    "PAPER_TABLE8",
+]

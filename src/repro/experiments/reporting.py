@@ -1,0 +1,58 @@
+"""Plain-text result tables printed by the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def _format_cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render a simple fixed-width text table."""
+    rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_results_table(results, paper_reference: Dict[tuple, float] | None = None) -> str:
+    """Format :class:`~repro.experiments.runner.MethodResult` records.
+
+    ``paper_reference`` optionally maps ``(dataset, method, model)`` to the
+    paper's reported value so the printed table shows paper-vs-measured side
+    by side.
+    """
+    headers = ["dataset", "model", "method", "metric", "measured"]
+    if paper_reference is not None:
+        headers.append("paper")
+    rows: List[List] = []
+    for r in results:
+        row = [r.dataset, r.model, r.method, r.metric_name, r.metric]
+        if paper_reference is not None:
+            row.append(paper_reference.get((r.dataset, r.method, r.model)))
+        rows.append(row)
+    return render_table(headers, rows)
+
+
+def format_timing_table(points, x_label: str = "size") -> str:
+    """Format :class:`~repro.experiments.scaling.ScalingPoint` records."""
+    headers = [x_label, "qti_seconds", "warmup_seconds", "generate_seconds", "total_seconds"]
+    rows = [
+        [p.size, p.qti_seconds, p.warmup_seconds, p.generate_seconds, p.total_seconds]
+        for p in points
+    ]
+    return render_table(headers, rows)

@@ -1,0 +1,146 @@
+"""Successive halving and Hyperband (Li et al., JMLR 2017).
+
+The paper cites Hyperband / BOHB as faster alternatives to vanilla Bayesian
+optimisation and leaves "which HPO method is better" as future work (Section
+V.B, Remark).  This module implements the two budget-allocation schemes so the
+SQL-generation component can be driven by them as an extension:
+
+* :func:`successive_halving` -- evaluate ``n`` configurations at a small
+  budget, keep the best ``1/eta`` fraction, multiply the budget by ``eta`` and
+  repeat until one configuration remains.
+* :class:`HyperbandOptimizer` -- run several successive-halving brackets that
+  trade off "many configurations, small budget" against "few configurations,
+  full budget".
+
+The objective receives ``(params, budget)`` where ``budget`` is a float in
+``(0, 1]`` expressing the fraction of the maximum budget (for FeatAug this is
+naturally the fraction of training rows used to score a candidate query).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.hpo.space import SearchSpace
+from repro.hpo.trial import Trial, TrialHistory
+
+BudgetedObjective = Callable[[Dict[str, object], float], float]
+
+
+@dataclass
+class BracketResult:
+    """Outcome of one successive-halving bracket."""
+
+    best_params: Dict[str, object]
+    best_value: float
+    n_evaluations: int
+    rounds: List[Tuple[float, int]] = field(default_factory=list)  # (budget, n_configs)
+
+
+def successive_halving(
+    objective: BudgetedObjective,
+    space: SearchSpace,
+    n_configs: int,
+    min_budget: float = 0.25,
+    max_budget: float = 1.0,
+    eta: float = 3.0,
+    seed: int | None = None,
+    history: TrialHistory | None = None,
+) -> BracketResult:
+    """Run one successive-halving bracket (minimisation).
+
+    ``n_configs`` random configurations start at ``min_budget``; after each
+    round only the best ``1/eta`` fraction survives and the budget grows by
+    ``eta`` (capped at ``max_budget``).
+    """
+    if n_configs < 1:
+        raise ValueError("n_configs must be >= 1")
+    if not 0 < min_budget <= max_budget <= 1.0:
+        raise ValueError("Budgets must satisfy 0 < min_budget <= max_budget <= 1")
+    if eta <= 1:
+        raise ValueError("eta must be > 1")
+
+    rng = np.random.default_rng(seed)
+    configurations = [space.sample(rng) for _ in range(n_configs)]
+    budget = min_budget
+    n_evaluations = 0
+    rounds: List[Tuple[float, int]] = []
+    scored: List[Tuple[Dict[str, object], float]] = []
+
+    while True:
+        scored = []
+        for params in configurations:
+            value = float(objective(params, budget))
+            n_evaluations += 1
+            scored.append((params, value))
+            if history is not None:
+                history.add(Trial(params=dict(params), value=value, metadata={"budget": budget}))
+        rounds.append((budget, len(configurations)))
+        scored.sort(key=lambda pair: pair[1])
+        if budget >= max_budget:
+            break
+        # Keep the best 1/eta fraction (at least one) and raise the budget;
+        # the final survivor is always re-evaluated at the full budget.
+        n_survivors = max(1, int(len(configurations) // eta))
+        configurations = [params for params, _ in scored[:n_survivors]]
+        budget = min(budget * eta, max_budget)
+
+    best_params, best_value = scored[0]
+    return BracketResult(
+        best_params=best_params, best_value=best_value, n_evaluations=n_evaluations, rounds=rounds
+    )
+
+
+class HyperbandOptimizer:
+    """Hyperband: a grid of successive-halving brackets over (n_configs, budget).
+
+    Unlike the ask/tell optimisers in this package, Hyperband needs control of
+    the evaluation budget, so it exposes a single :meth:`minimize` entry point
+    taking a budgeted objective.
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        max_budget: float = 1.0,
+        min_budget: float = 0.2,
+        eta: float = 3.0,
+        seed: int | None = None,
+    ):
+        if not 0 < min_budget <= max_budget <= 1.0:
+            raise ValueError("Budgets must satisfy 0 < min_budget <= max_budget <= 1")
+        if eta <= 1:
+            raise ValueError("eta must be > 1")
+        self.space = space
+        self.max_budget = max_budget
+        self.min_budget = min_budget
+        self.eta = eta
+        self.seed = seed
+        self.history = TrialHistory()
+
+    def minimize(self, objective: BudgetedObjective, n_configs: int = 9) -> Trial:
+        """Run all Hyperband brackets and return the best trial."""
+        s_max = int(math.floor(math.log(self.max_budget / self.min_budget, self.eta)))
+        best: Trial | None = None
+        for s in range(s_max, -1, -1):
+            bracket_configs = max(1, int(math.ceil(n_configs * self.eta**s / (s + 1))))
+            bracket_min_budget = self.max_budget / (self.eta**s)
+            result = successive_halving(
+                objective,
+                self.space,
+                n_configs=bracket_configs,
+                min_budget=max(self.min_budget, bracket_min_budget),
+                max_budget=self.max_budget,
+                eta=self.eta,
+                seed=None if self.seed is None else self.seed + s,
+                history=self.history,
+            )
+            candidate = Trial(params=result.best_params, value=result.best_value, metadata={"bracket": s})
+            if best is None or candidate.value < best.value:
+                best = candidate
+        assert best is not None  # at least one bracket always runs
+        return best

@@ -1,0 +1,49 @@
+"""Optimiser interface: suggest / observe / minimize."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.hpo.space import SearchSpace
+from repro.hpo.trial import Trial, TrialHistory
+
+
+class Optimizer:
+    """Base class for sequential model-based (and random) optimisers.
+
+    The protocol is the classic ask/tell loop:
+
+    >>> params = optimizer.suggest()
+    >>> value = objective(params)
+    >>> optimizer.observe(params, value)
+
+    ``minimize`` drives the loop for a fixed number of iterations and returns
+    the best trial.  Objective values are always *minimised*; callers that
+    maximise a score (e.g. mutual information in the warm-up phase) negate it.
+    """
+
+    def __init__(self, space: SearchSpace, seed: int | None = None):
+        self.space = space
+        self.seed = seed
+        self.history = TrialHistory()
+
+    def suggest(self) -> Dict[str, object]:
+        raise NotImplementedError
+
+    def observe(self, params: Dict[str, object], value: float, **metadata) -> None:
+        """Record an evaluated point."""
+        self.space.validate(params)
+        self.history.add(Trial(params=dict(params), value=float(value), metadata=metadata))
+
+    def minimize(self, objective: Callable[[Dict[str, object]], float], n_iter: int) -> Trial:
+        """Run the ask/tell loop for *n_iter* evaluations; return the best trial."""
+        for _ in range(n_iter):
+            params = self.suggest()
+            value = objective(params)
+            self.observe(params, value)
+        return self.history.best(minimize=True)
+
+    def warm_start(self, trials) -> None:
+        """Seed the optimiser's history with externally evaluated trials."""
+        for trial in trials:
+            self.history.add(Trial(params=dict(trial.params), value=float(trial.value), metadata=dict(trial.metadata)))

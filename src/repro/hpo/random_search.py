@@ -1,0 +1,21 @@
+"""Random search optimiser (the paper's `Random` baseline search strategy)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.hpo.optimizer import Optimizer
+from repro.hpo.space import SearchSpace
+
+
+class RandomSearchOptimizer(Optimizer):
+    """Uniform random sampling of the search space."""
+
+    def __init__(self, space: SearchSpace, seed: int | None = None):
+        super().__init__(space, seed)
+        self._rng = np.random.default_rng(seed)
+
+    def suggest(self) -> Dict[str, object]:
+        return self.space.sample(self._rng)

@@ -1,0 +1,139 @@
+"""Search-space definition.
+
+A :class:`SearchSpace` is an ordered list of named dimensions.  Three
+dimension kinds cover everything the query pool needs:
+
+* :class:`CategoricalDimension` -- choice among arbitrary values (aggregation
+  function, aggregation attribute, categorical predicate value, group-by key
+  subset).  ``None`` may be included as a choice to mean "no predicate on
+  this attribute" exactly as Definition 2 / Example 9 in the paper describe.
+* :class:`RealDimension` -- a float in ``[low, high]``; used for numeric and
+  datetime predicate bounds.  With ``optional=True`` the dimension may also
+  take the value ``None`` (an absent bound, i.e. a one-sided range).
+* :class:`IntegerDimension` -- an integer in ``[low, high]``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+class Dimension:
+    """Base class for search-space dimensions."""
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("Dimension name must be non-empty")
+        self.name = name
+
+    def sample(self, rng: np.random.Generator):
+        raise NotImplementedError
+
+    def contains(self, value) -> bool:
+        raise NotImplementedError
+
+
+class CategoricalDimension(Dimension):
+    """A choice among a finite list of values (values may include ``None``)."""
+
+    def __init__(self, name: str, choices: Sequence):
+        super().__init__(name)
+        if not list(choices):
+            raise ValueError(f"Categorical dimension {name!r} needs at least one choice")
+        self.choices = list(choices)
+
+    def sample(self, rng: np.random.Generator):
+        return self.choices[int(rng.integers(0, len(self.choices)))]
+
+    def contains(self, value) -> bool:
+        return any(value is c or value == c for c in self.choices)
+
+    def index_of(self, value) -> int:
+        for i, c in enumerate(self.choices):
+            if value is c or value == c:
+                return i
+        raise ValueError(f"{value!r} is not a choice of dimension {self.name!r}")
+
+
+class RealDimension(Dimension):
+    """A float in [low, high], optionally allowing ``None`` (absent value)."""
+
+    def __init__(self, name: str, low: float, high: float, optional: bool = False, none_probability: float = 0.3):
+        super().__init__(name)
+        if not np.isfinite(low) or not np.isfinite(high) or low > high:
+            raise ValueError(f"Invalid bounds for dimension {name!r}: [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+        self.optional = optional
+        self.none_probability = none_probability
+
+    def sample(self, rng: np.random.Generator):
+        if self.optional and rng.random() < self.none_probability:
+            return None
+        return float(rng.uniform(self.low, self.high))
+
+    def contains(self, value) -> bool:
+        if value is None:
+            return self.optional
+        return self.low - 1e-9 <= float(value) <= self.high + 1e-9
+
+
+class IntegerDimension(Dimension):
+    """An integer in [low, high] inclusive."""
+
+    def __init__(self, name: str, low: int, high: int, optional: bool = False, none_probability: float = 0.3):
+        super().__init__(name)
+        if low > high:
+            raise ValueError(f"Invalid bounds for dimension {name!r}: [{low}, {high}]")
+        self.low = int(low)
+        self.high = int(high)
+        self.optional = optional
+        self.none_probability = none_probability
+
+    def sample(self, rng: np.random.Generator):
+        if self.optional and rng.random() < self.none_probability:
+            return None
+        return int(rng.integers(self.low, self.high + 1))
+
+    def contains(self, value) -> bool:
+        if value is None:
+            return self.optional
+        return self.low <= int(value) <= self.high
+
+
+class SearchSpace:
+    """An ordered, named collection of dimensions."""
+
+    def __init__(self, dimensions: Sequence[Dimension]):
+        names = [d.name for d in dimensions]
+        if len(names) != len(set(names)):
+            raise ValueError(f"Duplicate dimension names: {names}")
+        self.dimensions: List[Dimension] = list(dimensions)
+        self._by_name: Dict[str, Dimension] = {d.name: d for d in dimensions}
+
+    def __len__(self) -> int:
+        return len(self.dimensions)
+
+    def __iter__(self):
+        return iter(self.dimensions)
+
+    def __getitem__(self, name: str) -> Dimension:
+        return self._by_name[name]
+
+    @property
+    def names(self) -> List[str]:
+        return [d.name for d in self.dimensions]
+
+    def sample(self, rng: np.random.Generator) -> Dict[str, object]:
+        """Draw one random point (a dict of dimension name to value)."""
+        return {d.name: d.sample(rng) for d in self.dimensions}
+
+    def validate(self, params: Dict[str, object]) -> None:
+        """Raise ``ValueError`` if *params* is not a valid point in the space."""
+        for d in self.dimensions:
+            if d.name not in params:
+                raise ValueError(f"Missing value for dimension {d.name!r}")
+            if not d.contains(params[d.name]):
+                raise ValueError(f"Value {params[d.name]!r} is outside dimension {d.name!r}")

@@ -1,0 +1,53 @@
+"""Trial bookkeeping for the optimisers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class Trial:
+    """One evaluated point: parameters, objective value and optional metadata."""
+
+    params: Dict[str, object]
+    value: float
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+
+class TrialHistory:
+    """Ordered list of trials with convenience accessors."""
+
+    def __init__(self):
+        self._trials: List[Trial] = []
+
+    def add(self, trial: Trial) -> None:
+        self._trials.append(trial)
+
+    def __len__(self) -> int:
+        return len(self._trials)
+
+    def __iter__(self):
+        return iter(self._trials)
+
+    def __getitem__(self, index: int) -> Trial:
+        return self._trials[index]
+
+    @property
+    def trials(self) -> List[Trial]:
+        return list(self._trials)
+
+    def best(self, minimize: bool = True) -> Trial:
+        """The trial with the lowest (or highest) objective value."""
+        if not self._trials:
+            raise ValueError("No trials recorded yet")
+        key = (lambda t: t.value) if minimize else (lambda t: -t.value)
+        return min(self._trials, key=key)
+
+    def top_k(self, k: int, minimize: bool = True) -> List[Trial]:
+        """The *k* best trials, best first."""
+        ordered = sorted(self._trials, key=lambda t: t.value, reverse=not minimize)
+        return ordered[:k]
+
+    def values(self) -> List[float]:
+        return [t.value for t in self._trials]

@@ -1,0 +1,109 @@
+"""Random forests (bagged CART trees with feature subsampling).
+
+RF is one of the paper's four downstream models (Table III / VI) and its
+feature importances power the GBDT/LR-style selector baselines when a
+tree-based importance is requested.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+class _BaseForest(BaseEstimator):
+    def __init__(
+        self,
+        n_estimators: int = 20,
+        max_depth: int = 6,
+        min_samples_leaf: int = 1,
+        max_features: float | str | None = "sqrt",
+        max_thresholds: int = 16,
+        random_state: int | None = 0,
+    ):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.max_thresholds = max_thresholds
+        self.random_state = random_state
+
+    def _make_tree(self, seed: int):
+        raise NotImplementedError
+
+    def fit(self, X, y) -> "_BaseForest":
+        X, y = self._validate_xy(X, y)
+        rng = np.random.default_rng(self.random_state)
+        n = X.shape[0]
+        self.estimators_ = []
+        importances = np.zeros(X.shape[1], dtype=np.float64)
+        for i in range(self.n_estimators):
+            indices = rng.choice(n, size=n, replace=True)
+            tree = self._make_tree(seed=int(rng.integers(0, 2**31 - 1)))
+            tree.fit(X[indices], y[indices])
+            self.estimators_.append(tree)
+            importances += tree.feature_importances_
+        total = importances.sum()
+        self.feature_importances_ = importances / total if total > 0 else importances
+        return self
+
+
+class RandomForestClassifier(_BaseForest):
+    """Bootstrap-aggregated decision tree classifier."""
+
+    _estimator_type = "classifier"
+
+    def _make_tree(self, seed: int) -> DecisionTreeClassifier:
+        return DecisionTreeClassifier(
+            max_depth=self.max_depth,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            max_thresholds=self.max_thresholds,
+            random_state=seed,
+        )
+
+    def fit(self, X, y) -> "RandomForestClassifier":
+        y_arr = np.asarray(y, dtype=np.float64).ravel()
+        self.classes_ = np.unique(y_arr)
+        return super().fit(X, y_arr)
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Average the class distributions predicted by all trees."""
+        X = np.asarray(X, dtype=np.float64)
+        proba = np.zeros((X.shape[0], self.classes_.shape[0]), dtype=np.float64)
+        for tree in self.estimators_:
+            tree_proba = tree.predict_proba(X)
+            # Align the tree's classes (a bootstrap sample may miss a class).
+            for j, c in enumerate(tree.classes_):
+                target = np.where(self.classes_ == c)[0][0]
+                proba[:, target] += tree_proba[:, j]
+        proba /= len(self.estimators_)
+        return proba
+
+    def predict(self, X) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+
+class RandomForestRegressor(_BaseForest):
+    """Bootstrap-aggregated decision tree regressor."""
+
+    _estimator_type = "regressor"
+
+    def _make_tree(self, seed: int) -> DecisionTreeRegressor:
+        return DecisionTreeRegressor(
+            max_depth=self.max_depth,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            max_thresholds=self.max_thresholds,
+            random_state=seed,
+        )
+
+    def predict(self, X) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        preds = np.zeros(X.shape[0], dtype=np.float64)
+        for tree in self.estimators_:
+            preds += tree.predict(X)
+        return preds / len(self.estimators_)

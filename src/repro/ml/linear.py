@@ -1,0 +1,135 @@
+"""Linear models: logistic regression, linear (OLS) regression, ridge.
+
+Logistic regression is one of the paper's downstream models and also serves
+as the "LR proxy" in Table VIII.  Linear regression (OLS) backs the regression
+scenarios (Merchant / RMSE) and ridge regression backs the query-template
+performance predictor (Section VI.C.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator
+
+
+def _add_intercept(X: np.ndarray) -> np.ndarray:
+    return np.hstack([X, np.ones((X.shape[0], 1), dtype=np.float64)])
+
+
+def _softmax(z: np.ndarray) -> np.ndarray:
+    z = z - z.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+def _standardise(X: np.ndarray):
+    mean = X.mean(axis=0)
+    std = X.std(axis=0)
+    std[std == 0] = 1.0
+    return (X - mean) / std, mean, std
+
+
+class LogisticRegression(BaseEstimator):
+    """Multinomial logistic regression trained with full-batch gradient descent.
+
+    Supports binary and multi-class classification.  Features are internally
+    standardised, which makes plain gradient descent converge quickly enough
+    for the dataset sizes used in the reproduction.
+    """
+
+    _estimator_type = "classifier"
+
+    def __init__(self, learning_rate: float = 0.5, n_iter: int = 300, l2: float = 1e-3, tol: float = 1e-6):
+        self.learning_rate = learning_rate
+        self.n_iter = n_iter
+        self.l2 = l2
+        self.tol = tol
+
+    def fit(self, X, y) -> "LogisticRegression":
+        X, y = self._validate_xy(X, y)
+        X, self._mean_, self._std_ = _standardise(X)
+        X = _add_intercept(X)
+        self.classes_ = np.unique(y)
+        n_classes = self.classes_.shape[0]
+        class_index = {c: i for i, c in enumerate(self.classes_)}
+        Y = np.zeros((X.shape[0], n_classes), dtype=np.float64)
+        for i, label in enumerate(y):
+            Y[i, class_index[label]] = 1.0
+        W = np.zeros((X.shape[1], n_classes), dtype=np.float64)
+        n = X.shape[0]
+        prev_loss = np.inf
+        for _ in range(self.n_iter):
+            P = _softmax(X @ W)
+            grad = X.T @ (P - Y) / n + self.l2 * W
+            W -= self.learning_rate * grad
+            loss = -np.log(np.clip((P * Y).sum(axis=1), 1e-12, None)).mean()
+            if abs(prev_loss - loss) < self.tol:
+                break
+            prev_loss = loss
+        self.coef_ = W
+        self.feature_importances_ = np.abs(W[:-1, :]).sum(axis=1)
+        return self
+
+    def _proba(self, X) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        X = (X - self._mean_) / self._std_
+        X = _add_intercept(X)
+        return _softmax(X @ self.coef_)
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Class probability matrix with one column per class in ``classes_``."""
+        return self._proba(X)
+
+    def predict(self, X) -> np.ndarray:
+        proba = self._proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+
+class LinearRegression(BaseEstimator):
+    """Ordinary least squares regression (solved via ``numpy.linalg.lstsq``)."""
+
+    _estimator_type = "regressor"
+
+    def __init__(self):
+        pass
+
+    def fit(self, X, y) -> "LinearRegression":
+        X, y = self._validate_xy(X, y)
+        X = _add_intercept(X)
+        coef, *_ = np.linalg.lstsq(X, y, rcond=None)
+        self.coef_ = coef
+        self.feature_importances_ = np.abs(coef[:-1])
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        return _add_intercept(X) @ self.coef_
+
+
+class RidgeRegression(BaseEstimator):
+    """L2-regularised linear regression with a closed-form solution.
+
+    Used as the query-template performance predictor: it is trained on the
+    one-hot template encodings observed so far and predicts the proxy value of
+    unseen templates (Section VI.C.2, Optimisation 2).
+    """
+
+    _estimator_type = "regressor"
+
+    def __init__(self, alpha: float = 1.0):
+        self.alpha = alpha
+
+    def fit(self, X, y) -> "RidgeRegression":
+        X, y = self._validate_xy(X, y)
+        X = _add_intercept(X)
+        n_features = X.shape[1]
+        penalty = self.alpha * np.eye(n_features)
+        penalty[-1, -1] = 0.0  # do not penalise the intercept
+        self.coef_ = np.linalg.solve(X.T @ X + penalty, X.T @ y)
+        self.feature_importances_ = np.abs(self.coef_[:-1])
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        return _add_intercept(X) @ self.coef_

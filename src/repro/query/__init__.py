@@ -1,0 +1,33 @@
+"""Predicate-aware SQL query layer.
+
+Implements the paper's core abstractions (Section III):
+
+* :class:`QueryTemplate` -- the quadruple ``T = (F, A, P, K)``.
+* :class:`PredicateAwareQuery` -- one concrete query drawn from a template's
+  pool, with its vector encoding (Section V.A).
+* :class:`QueryPool` -- builds the HPO search space for a template against a
+  concrete relevant table and converts points back into executable queries.
+* :func:`execute_query` / :func:`augment_training_table` -- the relational
+  plumbing (filter -> group-by aggregate -> left join onto the training
+  table).
+"""
+
+from repro.query.template import QueryTemplate, enumerate_attribute_combinations
+from repro.query.query import PredicateAwareQuery
+from repro.query.pool import QueryPool
+from repro.query.executor import execute_query
+from repro.query.augment import augment_training_table, apply_queries
+from repro.query.multi_table import RelationalSchema, Relationship, flatten_relevant_tables
+
+__all__ = [
+    "QueryTemplate",
+    "enumerate_attribute_combinations",
+    "PredicateAwareQuery",
+    "QueryPool",
+    "execute_query",
+    "augment_training_table",
+    "apply_queries",
+    "RelationalSchema",
+    "Relationship",
+    "flatten_relevant_tables",
+]

@@ -1,0 +1,57 @@
+"""Attach generated features to the training table (Definition 3)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.dataframe.table import Table
+from repro.query.executor import execute_query
+from repro.query.query import PredicateAwareQuery
+
+
+def augment_training_table(
+    training_table: Table,
+    feature_table: Table,
+    keys: Sequence[str],
+    feature_name: str,
+    output_name: str | None = None,
+) -> Table:
+    """Left join the query result onto the training table.
+
+    The training table keeps its row order; rows whose key has no match in
+    the feature table receive a missing value (NaN), exactly like the SQL
+    ``LEFT JOIN`` in Definition 3.
+    """
+    output_name = output_name or feature_name
+    renamed = feature_table.rename({feature_name: output_name})
+    return training_table.left_join(renamed, on=list(keys))
+
+
+def apply_queries(
+    training_table: Table,
+    relevant_table: Table,
+    queries: Sequence[PredicateAwareQuery],
+    prefix: str = "feataug",
+) -> Table:
+    """Execute every query and append one feature column per query.
+
+    Columns are named ``{prefix}_{i}``; this is how the final augmented
+    training table ``D^{q1..qn}`` is materialised once the search has picked
+    its queries.
+    """
+    augmented = training_table
+    for i, query in enumerate(queries):
+        feature_table = execute_query(query, relevant_table)
+        augmented = augment_training_table(
+            augmented,
+            feature_table,
+            keys=query.keys,
+            feature_name=query.feature_name,
+            output_name=f"{prefix}_{i}",
+        )
+    return augmented
+
+
+def generated_feature_names(queries: Sequence[PredicateAwareQuery], prefix: str = "feataug") -> List[str]:
+    """The column names :func:`apply_queries` will produce for *queries*."""
+    return [f"{prefix}_{i}" for i in range(len(queries))]

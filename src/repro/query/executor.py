@@ -1,0 +1,30 @@
+"""Execute predicate-aware queries against the relevant table."""
+
+from __future__ import annotations
+
+from repro.dataframe.groupby import group_by_aggregate
+from repro.dataframe.table import Table
+from repro.query.query import PredicateAwareQuery
+
+
+def execute_query(query: PredicateAwareQuery, relevant_table: Table) -> Table:
+    """Run ``q(R)``: filter by the WHERE clause, then group-by aggregate.
+
+    Returns a table with the query's key columns plus one numeric column named
+    ``query.feature_name``.  An empty filter result yields an empty table (the
+    join will then fill the feature with missing values for every training
+    row).
+    """
+    predicate = query.build_predicate()
+    mask = predicate.mask(relevant_table)
+    filtered = relevant_table.filter(mask)
+    if filtered.num_rows == 0:
+        empty = relevant_table.select(list(query.keys) + [query.agg_attr]).filter(
+            [False] * relevant_table.num_rows
+        )
+        return group_by_aggregate(
+            empty, list(query.keys), query.agg_attr, query.agg_func, query.feature_name
+        )
+    return group_by_aggregate(
+        filtered, list(query.keys), query.agg_attr, query.agg_func, query.feature_name
+    )

@@ -1,0 +1,99 @@
+"""Query templates: the quadruple ``T = (F, A, P, K)`` (Definition 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.dataframe.aggregates import DEFAULT_AGGREGATES, normalise_aggregate_name
+from repro.dataframe.table import Table
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """A query template w.r.t. a relevant table.
+
+    Attributes
+    ----------
+    agg_funcs:
+        ``F`` -- the candidate aggregation functions.
+    agg_attrs:
+        ``A`` -- attributes of the relevant table that may be aggregated.
+    predicate_attrs:
+        ``P`` -- the fixed attribute combination forming the WHERE clause.
+    keys:
+        ``K`` -- the foreign-key attributes used for GROUP BY / joining.
+    """
+
+    agg_funcs: Tuple[str, ...]
+    agg_attrs: Tuple[str, ...]
+    predicate_attrs: Tuple[str, ...]
+    keys: Tuple[str, ...]
+
+    def __init__(
+        self,
+        agg_funcs: Sequence[str] | None,
+        agg_attrs: Sequence[str],
+        predicate_attrs: Sequence[str],
+        keys: Sequence[str],
+    ):
+        funcs = tuple(
+            normalise_aggregate_name(f) for f in (agg_funcs if agg_funcs else DEFAULT_AGGREGATES)
+        )
+        object.__setattr__(self, "agg_funcs", funcs)
+        object.__setattr__(self, "agg_attrs", tuple(agg_attrs))
+        object.__setattr__(self, "predicate_attrs", tuple(predicate_attrs))
+        object.__setattr__(self, "keys", tuple(keys))
+        if not self.agg_attrs:
+            raise ValueError("A query template needs at least one aggregation attribute")
+        if not self.keys:
+            raise ValueError("A query template needs at least one group-by key")
+
+    def validate_against(self, relevant_table: Table) -> None:
+        """Raise ``KeyError`` if any referenced attribute is missing from the table."""
+        for name in list(self.agg_attrs) + list(self.predicate_attrs) + list(self.keys):
+            if name not in relevant_table:
+                raise KeyError(f"Template references missing column {name!r}")
+
+    def encode(self, universe: Sequence[str]) -> np.ndarray:
+        """One-hot encode the WHERE-clause attribute combination over *universe*.
+
+        This is the encoding used to train the template performance predictor
+        (Section VI.C.2): position ``i`` is 1 when ``universe[i]`` participates
+        in the template's predicate attribute set.
+        """
+        encoding = np.zeros(len(universe), dtype=np.float64)
+        members = set(self.predicate_attrs)
+        for i, name in enumerate(universe):
+            if name in members:
+                encoding[i] = 1.0
+        return encoding
+
+    def with_predicate_attrs(self, predicate_attrs: Sequence[str]) -> "QueryTemplate":
+        """A copy of this template with a different WHERE-clause attribute set."""
+        return QueryTemplate(self.agg_funcs, self.agg_attrs, predicate_attrs, self.keys)
+
+    def describe(self) -> str:
+        """Human-readable one-line summary."""
+        return (
+            f"T(F={list(self.agg_funcs)}, A={list(self.agg_attrs)}, "
+            f"P={list(self.predicate_attrs)}, K={list(self.keys)})"
+        )
+
+
+def enumerate_attribute_combinations(attrs: Sequence[str], max_size: int | None = None) -> List[Tuple[str, ...]]:
+    """All non-empty subsets of *attrs* up to size *max_size* (Definition 4).
+
+    The brute-force template set ``S_attr`` contains one template per subset;
+    this helper is used by the brute-force baseline and by the beam search's
+    cost accounting in tests.
+    """
+    attrs = list(attrs)
+    limit = len(attrs) if max_size is None else min(max_size, len(attrs))
+    subsets: List[Tuple[str, ...]] = []
+    for size in range(1, limit + 1):
+        subsets.extend(combinations(attrs, size))
+    return subsets

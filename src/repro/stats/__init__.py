@@ -1,0 +1,26 @@
+"""Information-theoretic and statistical primitives.
+
+These are the low-cost proxies FeatAug uses to avoid repeatedly training the
+downstream ML model: mutual information (the default warm-up proxy), Spearman
+correlation, chi-square and Gini statistics (used by the Featuretools +
+selector baselines).
+"""
+
+from repro.stats.entropy import shannon_entropy, discretize
+from repro.stats.mutual_information import mutual_information, conditional_entropy
+from repro.stats.correlation import pearson_correlation, spearman_correlation, rankdata
+from repro.stats.chi2 import chi2_statistic
+from repro.stats.gini import gini_impurity, gini_importance
+
+__all__ = [
+    "shannon_entropy",
+    "discretize",
+    "mutual_information",
+    "conditional_entropy",
+    "pearson_correlation",
+    "spearman_correlation",
+    "rankdata",
+    "chi2_statistic",
+    "gini_impurity",
+    "gini_importance",
+]

@@ -1,0 +1,37 @@
+"""Chi-square statistic between a non-negative feature and a class label.
+
+Used by the ``Featuretools + Chi2 Selector`` baseline (classification only),
+mirroring scikit-learn's ``chi2`` scoring function: the feature values are
+treated as frequencies accumulated per class.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def chi2_statistic(feature, label) -> float:
+    """Chi-square score of one feature against a categorical label.
+
+    Negative feature values are shifted to be non-negative first (the score
+    requires count-like inputs); missing values are dropped.
+    """
+    x = np.asarray(feature, dtype=np.float64)
+    y = np.asarray(label)
+    mask = ~np.isnan(x)
+    x, y = x[mask], y[mask]
+    if x.size == 0:
+        return 0.0
+    if x.min() < 0:
+        x = x - x.min()
+    classes = np.unique(y)
+    if classes.size < 2:
+        return 0.0
+    observed = np.asarray([x[y == c].sum() for c in classes], dtype=np.float64)
+    total = observed.sum()
+    if total == 0:
+        return 0.0
+    class_prob = np.asarray([(y == c).mean() for c in classes], dtype=np.float64)
+    expected = class_prob * total
+    valid = expected > 0
+    return float((((observed - expected) ** 2)[valid] / expected[valid]).sum())

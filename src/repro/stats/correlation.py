@@ -1,0 +1,56 @@
+"""Pearson and Spearman correlation coefficients.
+
+Spearman correlation is one of the alternative low-cost proxies evaluated in
+Table VIII of the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rankdata(values: np.ndarray) -> np.ndarray:
+    """Average ranks (1-based) with ties sharing the mean rank."""
+    values = np.asarray(values, dtype=np.float64)
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(values.shape[0], dtype=np.float64)
+    ranks[order] = np.arange(1, values.shape[0] + 1, dtype=np.float64)
+    # Average the ranks of tied values.
+    sorted_values = values[order]
+    i = 0
+    n = values.shape[0]
+    while i < n:
+        j = i
+        while j + 1 < n and sorted_values[j + 1] == sorted_values[i]:
+            j += 1
+        if j > i:
+            mean_rank = (i + j + 2) / 2.0
+            ranks[order[i : j + 1]] = mean_rank
+        i = j + 1
+    return ranks
+
+
+def _paired_finite(x, y):
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    mask = ~(np.isnan(x) | np.isnan(y))
+    return x[mask], y[mask]
+
+
+def pearson_correlation(x, y) -> float:
+    """Pearson correlation of the pairwise-finite entries of *x* and *y*."""
+    x, y = _paired_finite(x, y)
+    if x.size < 2:
+        return 0.0
+    sx, sy = x.std(), y.std()
+    if sx == 0 or sy == 0:
+        return 0.0
+    return float(((x - x.mean()) * (y - y.mean())).mean() / (sx * sy))
+
+
+def spearman_correlation(x, y) -> float:
+    """Spearman rank correlation (Pearson correlation of the rank vectors)."""
+    x, y = _paired_finite(x, y)
+    if x.size < 2:
+        return 0.0
+    return pearson_correlation(rankdata(x), rankdata(y))

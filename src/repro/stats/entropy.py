@@ -1,0 +1,42 @@
+"""Entropy and discretisation utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def discretize(values: np.ndarray, n_bins: int = 10) -> np.ndarray:
+    """Quantile-bin a continuous array into integer codes.
+
+    Missing values (NaN) receive their own bin code (``n_bins``) so they still
+    contribute to dependency estimates.  If the array has fewer distinct
+    values than ``n_bins`` the distinct values are used directly.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    codes = np.full(values.shape[0], n_bins, dtype=np.int64)
+    finite_mask = ~np.isnan(values)
+    finite = values[finite_mask]
+    if finite.size == 0:
+        return codes
+    distinct = np.unique(finite)
+    if distinct.size <= n_bins:
+        lookup = {v: i for i, v in enumerate(distinct)}
+        codes[finite_mask] = np.asarray([lookup[v] for v in finite], dtype=np.int64)
+        return codes
+    quantiles = np.quantile(finite, np.linspace(0, 1, n_bins + 1)[1:-1])
+    codes[finite_mask] = np.searchsorted(quantiles, finite, side="right")
+    return codes
+
+
+def _probabilities(codes: np.ndarray) -> np.ndarray:
+    _, counts = np.unique(codes, return_counts=True)
+    return counts / counts.sum()
+
+
+def shannon_entropy(codes: np.ndarray) -> float:
+    """Shannon entropy (natural log) of a discrete code array."""
+    codes = np.asarray(codes)
+    if codes.size == 0:
+        return 0.0
+    p = _probabilities(codes)
+    return float(-(p * np.log(p)).sum())

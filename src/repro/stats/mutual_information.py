@@ -1,0 +1,56 @@
+"""Mutual information between a candidate feature and the label.
+
+MI is FeatAug's default low-cost proxy (Section V.C and VI.C.1): instead of
+training the downstream model to score a generated feature, the dependency
+between the feature and the label is measured.  Continuous inputs are
+quantile-binned before the discrete MI computation, matching the standard
+practice in the feature-selection literature the paper cites.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stats.entropy import discretize, shannon_entropy
+
+
+def _as_codes(values, n_bins: int) -> np.ndarray:
+    values = np.asarray(values)
+    if values.dtype == object:
+        lookup = {}
+        codes = np.empty(values.shape[0], dtype=np.int64)
+        for i, v in enumerate(values):
+            key = "__missing__" if v is None else v
+            if key not in lookup:
+                lookup[key] = len(lookup)
+            codes[i] = lookup[key]
+        return codes
+    return discretize(values.astype(np.float64), n_bins=n_bins)
+
+
+def conditional_entropy(x_codes: np.ndarray, y_codes: np.ndarray) -> float:
+    """H(X | Y) for discrete code arrays."""
+    x_codes = np.asarray(x_codes)
+    y_codes = np.asarray(y_codes)
+    if x_codes.size == 0:
+        return 0.0
+    total = 0.0
+    n = x_codes.shape[0]
+    for y_value in np.unique(y_codes):
+        mask = y_codes == y_value
+        weight = mask.sum() / n
+        total += weight * shannon_entropy(x_codes[mask])
+    return float(total)
+
+
+def mutual_information(feature, label, n_bins: int = 10) -> float:
+    """I(feature; label) = H(feature) - H(feature | label), in nats.
+
+    Both inputs may be continuous (binned), categorical object arrays or
+    already-discrete integer codes.  The result is clipped at zero to guard
+    against tiny negative values caused by floating point error.
+    """
+    x_codes = _as_codes(feature, n_bins)
+    y_codes = _as_codes(label, n_bins)
+    mi = shannon_entropy(x_codes) - conditional_entropy(x_codes, y_codes)
+    return float(max(mi, 0.0))

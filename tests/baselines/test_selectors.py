@@ -1,0 +1,115 @@
+"""Unit tests for the feature selectors used with the Featuretools baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.selectors import (
+    SELECTOR_NAMES,
+    backward_selector,
+    forward_selector,
+    select_features,
+)
+from repro.core.evaluation import ModelEvaluator
+from repro.dataframe.table import Table
+from repro.ml.linear import LogisticRegression
+from repro.ml.preprocessing import train_valid_test_split
+
+
+@pytest.fixture(scope="module")
+def selection_problem():
+    """Three features: two informative, one pure noise."""
+    rng = np.random.default_rng(3)
+    n = 300
+    y = rng.integers(0, 2, size=n).astype(float)
+    strong = y * 2 + rng.normal(0, 0.4, size=n)
+    medium = y + rng.normal(0, 0.8, size=n)
+    noise = rng.normal(size=n)
+    X = np.column_stack([strong, medium, noise])
+    names = ["strong", "medium", "noise"]
+
+    # Put the candidate features into the table so the train/valid feature
+    # matrices stay row-aligned with the evaluator after the shuffled split.
+    table = Table.from_dict(
+        {"base": rng.normal(size=n), "strong": strong, "medium": medium, "noise": noise, "label": y}
+    )
+    train, valid, _ = train_valid_test_split(table, (0.7, 0.3, 0.0), seed=0)
+    evaluator = ModelEvaluator(
+        train.select(["base", "label"]), valid.select(["base", "label"]),
+        label="label", base_features=["base"],
+        model=LogisticRegression(n_iter=100), task="binary",
+    )
+    X_train = np.column_stack([train.column(name).values for name in names])
+    X_valid = np.column_stack([valid.column(name).values for name in names])
+    return X, names, y, evaluator, X_train, X_valid
+
+
+SCORE_SELECTORS = ["lr", "gbdt", "mi", "chi2", "gini"]
+
+
+@pytest.mark.parametrize("selector", SCORE_SELECTORS)
+class TestScoreSelectors:
+    def test_selects_informative_over_noise(self, selector, selection_problem):
+        X, names, y, *_ = selection_problem
+        chosen = select_features(selector, names, k=2, task="binary", X_train=X, y_train=y)
+        assert "noise" not in chosen
+
+    def test_returns_k_features(self, selector, selection_problem):
+        X, names, y, *_ = selection_problem
+        assert len(select_features(selector, names, k=2, task="binary", X_train=X, y_train=y)) == 2
+
+
+class TestSelectorDispatch:
+    def test_unknown_selector_raises(self, selection_problem):
+        X, names, y, *_ = selection_problem
+        with pytest.raises(ValueError):
+            select_features("magic", names, 1, "binary", X, y)
+
+    def test_chi2_rejected_for_regression(self, selection_problem):
+        X, names, y, *_ = selection_problem
+        with pytest.raises(ValueError):
+            select_features("chi2", names, 1, "regression", X, y)
+
+    def test_gini_rejected_for_regression(self, selection_problem):
+        X, names, y, *_ = selection_problem
+        with pytest.raises(ValueError):
+            select_features("gini", names, 1, "regression", X, y)
+
+    def test_wrapper_selector_requires_evaluator(self, selection_problem):
+        X, names, y, *_ = selection_problem
+        with pytest.raises(ValueError):
+            select_features("forward", names, 1, "binary", X, y)
+
+    def test_selector_names_constant(self):
+        assert set(SELECTOR_NAMES) == {"lr", "gbdt", "mi", "chi2", "gini", "forward", "backward"}
+
+    def test_lr_selector_regression_task(self):
+        rng = np.random.default_rng(5)
+        y = rng.normal(size=200)
+        X = np.column_stack([y * 3 + rng.normal(0, 0.1, 200), rng.normal(size=200)])
+        chosen = select_features("lr", ["good", "bad"], 1, "regression", X, y)
+        assert chosen == ["good"]
+
+    def test_mi_selector_handles_nan(self):
+        rng = np.random.default_rng(6)
+        y = rng.integers(0, 2, size=100).astype(float)
+        X = np.column_stack([y + rng.normal(0, 0.1, 100), rng.normal(size=100)])
+        X[::5, 0] = np.nan
+        chosen = select_features("mi", ["good", "bad"], 1, "binary", X, y)
+        assert chosen == ["good"]
+
+
+class TestWrapperSelectors:
+    def test_forward_prefers_informative(self, selection_problem):
+        _, names, _, evaluator, X_train, X_valid = selection_problem
+        chosen = forward_selector(evaluator, X_train, X_valid, names, k=1)
+        assert chosen and chosen[0] in ("strong", "medium")
+
+    def test_forward_stops_when_no_improvement(self, selection_problem):
+        _, names, _, evaluator, X_train, X_valid = selection_problem
+        chosen = forward_selector(evaluator, X_train, X_valid, names, k=3)
+        assert len(chosen) <= 3
+
+    def test_backward_reduces_to_k(self, selection_problem):
+        _, names, _, evaluator, X_train, X_valid = selection_problem
+        chosen = backward_selector(evaluator, X_train, X_valid, names, k=2)
+        assert len(chosen) == 2

@@ -1,0 +1,100 @@
+"""Shared fixtures: small tables and dataset bundles reused across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import FeatAugConfig
+from repro.dataframe.column import Column, DType
+from repro.dataframe.table import Table
+from repro.datasets import load_dataset
+
+
+@pytest.fixture
+def user_table() -> Table:
+    """A tiny training table in the style of the paper's User_Info example."""
+    return Table(
+        [
+            Column("cname", ["alice", "bob", "carol", "dave"], dtype=DType.CATEGORICAL),
+            Column("age", [34, 28, 45, 52], dtype=DType.NUMERIC),
+            Column("gender", ["f", "m", "f", "m"], dtype=DType.CATEGORICAL),
+            Column("label", [1, 0, 1, 0], dtype=DType.NUMERIC),
+        ]
+    )
+
+
+@pytest.fixture
+def logs_table() -> Table:
+    """A tiny relevant table in the style of the paper's User_Logs example."""
+    return Table(
+        [
+            Column(
+                "cname",
+                ["alice", "alice", "alice", "bob", "bob", "carol", "carol", "carol", "carol"],
+                dtype=DType.CATEGORICAL,
+            ),
+            Column(
+                "pname",
+                ["kindle", "soap", "tv", "soap", "book", "kindle", "tv", "book", "soap"],
+                dtype=DType.CATEGORICAL,
+            ),
+            Column("pprice", [100.0, 5.0, 400.0, 6.0, 12.0, 95.0, 380.0, 15.0, 4.0], dtype=DType.NUMERIC),
+            Column(
+                "department",
+                [
+                    "electronics", "household", "electronics", "household", "media",
+                    "electronics", "electronics", "media", "household",
+                ],
+                dtype=DType.CATEGORICAL,
+            ),
+            Column(
+                "timestamp",
+                [
+                    "2023-07-15", "2023-03-02", "2023-07-20", "2023-01-10", "2023-06-01",
+                    "2023-07-29", "2022-12-25", "2023-05-05", "2023-07-01",
+                ],
+                dtype=DType.DATETIME,
+            ),
+        ]
+    )
+
+
+@pytest.fixture(scope="session")
+def fast_config() -> FeatAugConfig:
+    """A FeatAug configuration small enough for unit tests."""
+    return FeatAugConfig(
+        n_templates=2,
+        queries_per_template=2,
+        warmup_iterations=6,
+        warmup_top_k=3,
+        search_iterations=4,
+        template_proxy_iterations=4,
+        max_template_depth=2,
+        beam_width=1,
+        tpe_startup_trials=3,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_student():
+    """A very small Student dataset bundle shared by integration-style tests."""
+    return load_dataset("student", scale=0.12, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_merchant():
+    """A very small Merchant (regression) dataset bundle."""
+    return load_dataset("merchant", scale=0.1, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_household():
+    """A very small Household (one-to-one, multiclass) dataset bundle."""
+    return load_dataset("household", scale=0.1, seed=0)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,142 @@
+"""Unit tests for ModelEvaluator."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import ModelEvaluator
+from repro.dataframe.table import Table
+from repro.ml.linear import LinearRegression, LogisticRegression
+from repro.ml.preprocessing import train_valid_test_split
+from repro.query.query import PredicateAwareQuery
+
+
+@pytest.fixture
+def binary_setup(rng):
+    """A training table whose label depends on a relevant-table aggregate."""
+    n_users = 240
+    users = [f"u{i}" for i in range(n_users)]
+    base = rng.normal(size=n_users)
+    n_events = n_users * 6
+    event_users = list(rng.choice(users, size=n_events))
+    amount = rng.normal(size=n_events)
+    relevant = Table.from_dict({"uid": event_users, "amount": amount})
+    totals = {u: 0.0 for u in users}
+    for u, a in zip(event_users, amount):
+        totals[u] += a
+    label = np.asarray([1.0 if totals[u] + 0.3 * b > 0 else 0.0 for u, b in zip(users, base)])
+    train_table = Table.from_dict({"uid": users, "base": base, "label": label})
+    train, valid, _ = train_valid_test_split(train_table, (0.7, 0.3, 0.0), seed=0)
+    evaluator = ModelEvaluator(
+        train,
+        valid,
+        label="label",
+        base_features=["base"],
+        model=LogisticRegression(n_iter=150),
+        task="binary",
+        relevant_table=relevant,
+    )
+    return evaluator, relevant
+
+
+class TestBinaryEvaluation:
+    def test_baseline_returns_auc(self, binary_setup):
+        evaluator, _ = binary_setup
+        result = evaluator.evaluate_baseline()
+        assert result.metric_name == "auc"
+        assert 0.0 <= result.metric <= 1.0
+        assert result.loss == pytest.approx(1.0 - result.metric)
+
+    def test_good_feature_improves_over_baseline(self, binary_setup):
+        evaluator, relevant = binary_setup
+        query = PredicateAwareQuery(agg_func="SUM", agg_attr="amount", keys=("uid",))
+        baseline = evaluator.evaluate_baseline()
+        augmented = evaluator.evaluate_query(query, relevant)
+        assert augmented.metric > baseline.metric + 0.05
+
+    def test_feature_vectors_align_with_rows(self, binary_setup):
+        evaluator, relevant = binary_setup
+        query = PredicateAwareQuery(agg_func="COUNT", agg_attr="amount", keys=("uid",))
+        train_vec, valid_vec = evaluator.feature_vectors_for_query(query, relevant)
+        assert train_vec.shape[0] == evaluator.y_train.shape[0]
+        assert valid_vec.shape[0] == evaluator.y_valid.shape[0]
+
+    def test_evaluate_queries_multiple_features(self, binary_setup):
+        evaluator, relevant = binary_setup
+        queries = [
+            PredicateAwareQuery(agg_func="SUM", agg_attr="amount", keys=("uid",)),
+            PredicateAwareQuery(agg_func="AVG", agg_attr="amount", keys=("uid",)),
+        ]
+        result = evaluator.evaluate_queries(queries, relevant)
+        assert 0.0 <= result.metric <= 1.0
+
+    def test_evaluate_matrix_with_nan_column(self, binary_setup):
+        evaluator, _ = binary_setup
+        n_train = evaluator.y_train.shape[0]
+        n_valid = evaluator.y_valid.shape[0]
+        extra_train = np.full((n_train, 1), np.nan)
+        extra_valid = np.full((n_valid, 1), np.nan)
+        result = evaluator.evaluate_matrix(extra_train, extra_valid)
+        assert np.isfinite(result.loss)
+
+    def test_missing_relevant_table_raises(self, binary_setup, rng):
+        evaluator, _ = binary_setup
+        evaluator.relevant_table = None
+        query = PredicateAwareQuery(agg_func="SUM", agg_attr="amount", keys=("uid",))
+        with pytest.raises(ValueError):
+            evaluator.feature_vectors_for_query(query)
+
+    def test_unknown_task_rejected(self, binary_setup):
+        evaluator, _ = binary_setup
+        with pytest.raises(ValueError):
+            ModelEvaluator(
+                evaluator._train_table,
+                evaluator._valid_table,
+                label="label",
+                base_features=["base"],
+                model=LogisticRegression(),
+                task="ranking",
+            )
+
+
+class TestRegressionEvaluation:
+    def test_rmse_loss(self, rng):
+        n = 120
+        X = rng.normal(size=n)
+        y = 2 * X + rng.normal(0, 0.1, size=n)
+        table = Table.from_dict({"uid": [f"u{i}" for i in range(n)], "x": X, "label": y})
+        train, valid, _ = train_valid_test_split(table, (0.7, 0.3, 0.0), seed=0)
+        evaluator = ModelEvaluator(
+            train, valid, label="label", base_features=["x"], model=LinearRegression(), task="regression"
+        )
+        result = evaluator.evaluate_baseline()
+        assert result.metric_name == "rmse"
+        assert result.loss == result.metric
+        assert result.metric < 0.5
+
+
+class TestMulticlassEvaluation:
+    def test_f1_metric(self, rng):
+        n = 150
+        X = rng.normal(size=(n, 2))
+        label = np.argmax(np.column_stack([X[:, 0], X[:, 1], -X.sum(axis=1)]), axis=1).astype(float)
+        table = Table.from_dict({"a": X[:, 0], "b": X[:, 1], "label": label})
+        train, valid, _ = train_valid_test_split(table, (0.7, 0.3, 0.0), seed=0)
+        evaluator = ModelEvaluator(
+            train, valid, label="label", base_features=["a", "b"],
+            model=LogisticRegression(n_iter=150), task="multiclass",
+        )
+        result = evaluator.evaluate_baseline()
+        assert result.metric_name == "f1"
+        assert result.metric > 0.6
+
+    def test_categorical_label_encoded(self, rng):
+        n = 100
+        x = rng.normal(size=n)
+        label = ["yes" if v > 0 else "no" for v in x]
+        table = Table.from_dict({"x": x, "label": label})
+        train, valid, _ = train_valid_test_split(table, (0.7, 0.3, 0.0), seed=0)
+        evaluator = ModelEvaluator(
+            train, valid, label="label", base_features=["x"],
+            model=LogisticRegression(n_iter=100), task="binary",
+        )
+        assert evaluator.evaluate_baseline().metric > 0.8

@@ -1,0 +1,55 @@
+"""Unit tests for the template performance predictor."""
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import TemplatePerformancePredictor
+from repro.query.template import QueryTemplate
+
+UNIVERSE = ["a", "b", "c", "d"]
+
+
+def make_template(attrs):
+    return QueryTemplate(["SUM"], ["x"], attrs, ["k"])
+
+
+class TestTemplatePerformancePredictor:
+    def test_predict_without_observations_is_zero(self):
+        predictor = TemplatePerformancePredictor(UNIVERSE)
+        assert predictor.predict(make_template(["a"])) == 0.0
+
+    def test_predict_with_one_observation_returns_mean(self):
+        predictor = TemplatePerformancePredictor(UNIVERSE)
+        predictor.observe(make_template(["a"]), 0.7)
+        assert predictor.predict(make_template(["b"])) == pytest.approx(0.7)
+
+    def test_learns_additive_attribute_value(self):
+        """Scores driven by attribute 'a' should rank templates containing 'a' higher."""
+        predictor = TemplatePerformancePredictor(UNIVERSE, alpha=0.1)
+        scores = {"a": 0.9, "b": 0.2, "c": 0.1, "d": 0.15}
+        for attr, score in scores.items():
+            predictor.observe(make_template([attr]), score)
+        with_a = predictor.predict(make_template(["a", "b"]))
+        without_a = predictor.predict(make_template(["c", "d"]))
+        assert with_a > without_a
+
+    def test_rank_orders_best_first(self):
+        predictor = TemplatePerformancePredictor(UNIVERSE, alpha=0.1)
+        for attr, score in [("a", 0.9), ("b", 0.5), ("c", 0.1)]:
+            predictor.observe(make_template([attr]), score)
+        candidates = [make_template(["a", "d"]), make_template(["c", "d"]), make_template(["b", "d"])]
+        ranked = predictor.rank(candidates)
+        assert ranked[0][0].predicate_attrs == ("a", "d")
+        assert ranked[-1][0].predicate_attrs == ("c", "d")
+
+    def test_n_observations_counter(self):
+        predictor = TemplatePerformancePredictor(UNIVERSE)
+        predictor.observe(make_template(["a"]), 0.5)
+        predictor.observe(make_template(["b"]), 0.6)
+        assert predictor.n_observations == 2
+
+    def test_prediction_finite_for_unseen_combination(self):
+        predictor = TemplatePerformancePredictor(UNIVERSE)
+        for attr in UNIVERSE:
+            predictor.observe(make_template([attr]), np.random.default_rng(0).random())
+        assert np.isfinite(predictor.predict(make_template(UNIVERSE)))

@@ -1,0 +1,75 @@
+"""Unit tests for the low-cost proxies."""
+
+import numpy as np
+import pytest
+
+from repro.core.proxies import LRProxy, MutualInformationProxy, SpearmanProxy, make_proxy
+
+
+@pytest.fixture
+def signal_data(rng):
+    y = rng.integers(0, 2, size=500).astype(float)
+    informative = y * 2 + rng.normal(0, 0.5, size=500)
+    noise = rng.normal(size=500)
+    return informative, noise, y
+
+
+class TestMakeProxy:
+    def test_names(self):
+        assert make_proxy("mi").name == "mi"
+        assert make_proxy("spearman").name == "spearman"
+        assert make_proxy("sc").name == "spearman"
+        assert make_proxy("lr").name == "lr"
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            make_proxy("magic")
+
+
+@pytest.mark.parametrize("proxy_name", ["mi", "spearman", "lr"])
+class TestAllProxies:
+    def test_informative_scores_higher_than_noise(self, proxy_name, signal_data):
+        informative, noise, y = signal_data
+        proxy = make_proxy(proxy_name)
+        assert proxy.score(informative, y, "binary") > proxy.score(noise, y, "binary")
+
+    def test_score_is_finite(self, proxy_name, signal_data):
+        informative, _, y = signal_data
+        assert np.isfinite(make_proxy(proxy_name).score(informative, y, "binary"))
+
+    def test_handles_nan_feature(self, proxy_name, signal_data):
+        informative, _, y = signal_data
+        feature = informative.copy()
+        feature[::7] = np.nan
+        assert np.isfinite(make_proxy(proxy_name).score(feature, y, "binary"))
+
+
+class TestMutualInformationProxy:
+    def test_nonnegative(self, signal_data):
+        informative, noise, y = signal_data
+        proxy = MutualInformationProxy()
+        assert proxy.score(noise, y, "binary") >= 0.0
+
+
+class TestSpearmanProxy:
+    def test_uses_absolute_value(self, rng):
+        y = rng.normal(size=300)
+        anti = -y
+        assert SpearmanProxy().score(anti, y, "regression") == pytest.approx(1.0)
+
+
+class TestLRProxy:
+    def test_regression_task_returns_negative_rmse(self, rng):
+        x = rng.normal(size=300)
+        y = 3 * x + rng.normal(0, 0.1, size=300)
+        score = LRProxy().score(x, y, "regression")
+        assert score < 0  # -RMSE
+        assert score > -1.0
+
+    def test_degenerate_label_returns_zero(self, rng):
+        x = rng.normal(size=50)
+        y = np.ones(50)
+        assert LRProxy().score(x, y, "binary") == 0.0
+
+    def test_tiny_sample_returns_zero(self):
+        assert LRProxy().score(np.asarray([1.0, 2.0]), np.asarray([0.0, 1.0]), "binary") == 0.0

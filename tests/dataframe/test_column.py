@@ -1,0 +1,170 @@
+"""Unit tests for repro.dataframe.column."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.dataframe.column import Column, DType, format_datetime, infer_dtype, parse_datetime
+
+
+class TestParseDatetime:
+    def test_parses_iso_date(self):
+        assert parse_datetime("1970-01-02") == 86400.0
+
+    def test_parses_iso_datetime(self):
+        assert parse_datetime("1970-01-01 01:00:00") == 3600.0
+
+    def test_parses_datetime_object(self):
+        assert parse_datetime(dt.datetime(1970, 1, 1, 0, 1)) == 60.0
+
+    def test_parses_date_object(self):
+        assert parse_datetime(dt.date(1970, 1, 3)) == 2 * 86400.0
+
+    def test_passes_through_numbers(self):
+        assert parse_datetime(123.5) == 123.5
+
+    def test_none_becomes_nan(self):
+        assert np.isnan(parse_datetime(None))
+
+    def test_invalid_string_raises(self):
+        with pytest.raises(ValueError):
+            parse_datetime("not a date")
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            parse_datetime([1, 2, 3])
+
+
+class TestFormatDatetime:
+    def test_roundtrip_date(self):
+        assert format_datetime(parse_datetime("2023-07-01")) == "2023-07-01"
+
+    def test_roundtrip_datetime(self):
+        text = "2023-07-01 13:45:10"
+        assert format_datetime(parse_datetime(text)) == text
+
+    def test_nan_renders_empty(self):
+        assert format_datetime(float("nan")) == ""
+
+
+class TestInferDtype:
+    def test_numbers(self):
+        assert infer_dtype([1, 2.5, None]) is DType.NUMERIC
+
+    def test_strings(self):
+        assert infer_dtype(["a", "b"]) is DType.CATEGORICAL
+
+    def test_datetimes(self):
+        assert infer_dtype([dt.datetime(2020, 1, 1)]) is DType.DATETIME
+
+    def test_booleans(self):
+        assert infer_dtype([True, False, None]) is DType.BOOLEAN
+
+    def test_mixed_numbers_and_strings_is_categorical(self):
+        assert infer_dtype([1, "a"]) is DType.CATEGORICAL
+
+    def test_all_missing_defaults_to_categorical(self):
+        assert infer_dtype([None, None]) is DType.CATEGORICAL
+
+
+class TestColumnConstruction:
+    def test_numeric_storage_is_float64(self):
+        col = Column("x", [1, 2, 3])
+        assert col.dtype is DType.NUMERIC
+        assert col.values.dtype == np.float64
+
+    def test_none_becomes_nan_in_numeric(self):
+        col = Column("x", [1, None, 3], dtype=DType.NUMERIC)
+        assert np.isnan(col.values[1])
+
+    def test_categorical_preserves_none(self):
+        col = Column("x", ["a", None, "b"])
+        assert col.values[1] is None
+
+    def test_datetime_strings_parsed(self):
+        col = Column("t", ["2023-01-01", "2023-01-02"], dtype=DType.DATETIME)
+        assert col.values[1] - col.values[0] == 86400.0
+
+    def test_boolean_coercion(self):
+        col = Column("b", [True, False, None], dtype=DType.BOOLEAN)
+        assert col.values[0] == 1.0
+        assert col.values[1] == 0.0
+        assert np.isnan(col.values[2])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Column("", [1, 2])
+
+    def test_numpy_float_array_used_directly(self):
+        arr = np.asarray([1.0, 2.0])
+        col = Column("x", arr)
+        assert col.dtype is DType.NUMERIC
+        assert len(col) == 2
+
+
+class TestColumnOperations:
+    def test_len_and_getitem(self):
+        col = Column("x", [10, 20, 30])
+        assert len(col) == 3
+        assert col[1] == 20.0
+
+    def test_is_missing_numeric(self):
+        col = Column("x", [1, None, 3], dtype=DType.NUMERIC)
+        assert list(col.is_missing()) == [False, True, False]
+
+    def test_is_missing_categorical(self):
+        col = Column("x", ["a", None])
+        assert list(col.is_missing()) == [False, True]
+
+    def test_null_count(self):
+        col = Column("x", [1, None, None], dtype=DType.NUMERIC)
+        assert col.null_count() == 2
+
+    def test_unique_preserves_first_appearance_order(self):
+        col = Column("x", ["b", "a", "b", "c"])
+        assert col.unique() == ["b", "a", "c"]
+
+    def test_unique_skips_missing(self):
+        col = Column("x", [1, None, 1, 2], dtype=DType.NUMERIC)
+        assert col.unique() == [1.0, 2.0]
+
+    def test_min_max_ignore_nan(self):
+        col = Column("x", [3, None, 1, 2], dtype=DType.NUMERIC)
+        assert col.min() == 1.0
+        assert col.max() == 3.0
+
+    def test_min_on_categorical_raises(self):
+        with pytest.raises(TypeError):
+            Column("x", ["a", "b"]).min()
+
+    def test_take_reorders(self):
+        col = Column("x", [10, 20, 30])
+        taken = col.take([2, 0])
+        assert list(taken.values) == [30.0, 10.0]
+
+    def test_filter_mask(self):
+        col = Column("x", [10, 20, 30])
+        assert list(col.filter([True, False, True]).values) == [10.0, 30.0]
+
+    def test_rename(self):
+        col = Column("x", [1]).rename("y")
+        assert col.name == "y"
+
+    def test_equality_with_nan(self):
+        a = Column("x", [1, None], dtype=DType.NUMERIC)
+        b = Column("x", [1, None], dtype=DType.NUMERIC)
+        assert a == b
+
+    def test_inequality_different_values(self):
+        assert Column("x", [1, 2]) != Column("x", [1, 3])
+
+    def test_astype_numeric_to_categorical(self):
+        col = Column("x", [1, 2]).astype(DType.CATEGORICAL)
+        assert col.dtype is DType.CATEGORICAL
+
+    def test_copy_is_independent(self):
+        col = Column("x", [1, 2])
+        duplicate = col.copy()
+        duplicate.values[0] = 99.0
+        assert col.values[0] == 1.0

@@ -1,0 +1,80 @@
+"""Edge-case tests for the table engine (empty tables, degenerate inputs)."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe.column import Column, DType
+from repro.dataframe.groupby import group_by_aggregate
+from repro.dataframe.predicates import Equals, Range
+from repro.dataframe.table import Table
+
+
+class TestEmptyTables:
+    def test_empty_table_shape(self):
+        table = Table([])
+        assert table.shape == (0, 0)
+        assert table.column_names == []
+
+    def test_filter_to_empty_preserves_schema(self):
+        table = Table.from_dict({"k": ["a", "b"], "v": [1.0, 2.0]})
+        empty = table.filter([False, False])
+        assert empty.num_rows == 0
+        assert empty.column_names == ["k", "v"]
+
+    def test_groupby_on_empty_table(self):
+        table = Table.from_dict({"k": ["a"], "v": [1.0]}).filter([False])
+        out = group_by_aggregate(table, ["k"], "v", "SUM")
+        assert out.num_rows == 0
+
+    def test_join_with_empty_right(self):
+        left = Table.from_dict({"k": ["a", "b"], "x": [1.0, 2.0]})
+        right = Table.from_dict({"k": ["a"], "f": [5.0]}).filter([False])
+        joined = left.left_join(right, on="k")
+        assert joined.num_rows == 2
+        assert np.isnan(joined.column("f").values).all()
+
+    def test_predicates_on_empty_table(self):
+        table = Table.from_dict({"c": ["x"], "n": [1.0]}).filter([False])
+        assert Equals("c", "x").mask(table).shape == (0,)
+        assert Range("n", low=0).mask(table).shape == (0,)
+
+
+class TestSingleRowTables:
+    def test_single_row_aggregation(self):
+        table = Table.from_dict({"k": ["a"], "v": [3.0]})
+        out = group_by_aggregate(table, ["k"], "v", "AVG")
+        assert out.num_rows == 1
+        assert out.column("feature").values[0] == 3.0
+
+    def test_single_row_sample(self):
+        table = Table.from_dict({"x": [1.0]})
+        assert table.sample(5, seed=0).num_rows == 1
+
+    def test_head_larger_than_table(self):
+        table = Table.from_dict({"x": [1.0, 2.0]})
+        assert table.head(100).num_rows == 2
+
+
+class TestDegenerateColumns:
+    def test_all_missing_numeric_column(self):
+        column = Column("x", [None, None], dtype=DType.NUMERIC)
+        assert column.null_count() == 2
+        assert np.isnan(column.min())
+
+    def test_all_missing_categorical_column(self):
+        column = Column("x", [None, None], dtype=DType.CATEGORICAL)
+        assert column.unique() == []
+
+    def test_groupby_on_all_missing_aggregation_attr(self):
+        table = Table.from_dict(
+            {"k": ["a", "a", "b"], "v": [None, None, None]}, dtypes={"v": DType.NUMERIC}
+        )
+        out = group_by_aggregate(table, ["k"], "v", "AVG")
+        assert np.isnan(out.column("feature").values).all()
+
+    def test_groupby_missing_key_forms_its_own_group(self):
+        table = Table.from_dict({"k": ["a", None, None], "v": [1.0, 2.0, 3.0]})
+        out = group_by_aggregate(table, ["k"], "v", "SUM")
+        assert out.num_rows == 2
+        totals = dict(zip(out.column("k").values, out.column("feature").values))
+        assert totals[None] == 5.0

@@ -1,0 +1,75 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.dataframe.io import read_csv, write_csv
+from repro.datasets import load_dataset
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--dataset", "student"])
+        assert args.method == "FeatAug"
+        assert args.model == "LR"
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--dataset", "imagenet"])
+
+
+class TestCommands:
+    def test_datasets_command(self, capsys):
+        exit_code = main(["datasets", "--scale", "0.08"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "tmall" in captured.out
+        assert "one-to-many" in captured.out
+
+    def test_run_command_base_method(self, capsys):
+        exit_code = main(
+            ["run", "--dataset", "student", "--method", "Base", "--model", "LR", "--scale", "0.1"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "auc" in captured.out
+
+    def test_augment_command_roundtrip(self, tmp_path, capsys):
+        bundle = load_dataset("student", scale=0.1, seed=0)
+        train_path = tmp_path / "train.csv"
+        relevant_path = tmp_path / "logs.csv"
+        output_path = tmp_path / "augmented.csv"
+        write_csv(bundle.train, train_path)
+        write_csv(bundle.relevant, relevant_path)
+
+        exit_code = main(
+            [
+                "augment",
+                "--train", str(train_path),
+                "--relevant", str(relevant_path),
+                "--label", "label",
+                "--keys", "session_id",
+                "--candidate-attrs", "event_type,level",
+                "--agg-attrs", "hover_duration",
+                "--n-features", "2",
+                "--n-templates", "1",
+                "--queries-per-template", "2",
+                "--warmup-iterations", "5",
+                "--search-iterations", "3",
+                "--output", str(output_path),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "GROUP BY" in captured.out
+        augmented = read_csv(output_path)
+        assert augmented.num_rows == bundle.train.num_rows
+        assert any(name.startswith("feataug_") for name in augmented.column_names)

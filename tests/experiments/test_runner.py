@@ -1,0 +1,72 @@
+"""Unit tests for the experiment runner."""
+
+import pytest
+
+from repro.core.config import FeatAugConfig
+from repro.experiments.runner import METHOD_NAMES, MethodResult, run_method
+
+
+@pytest.fixture(scope="module")
+def runner_config():
+    return FeatAugConfig(
+        n_templates=2,
+        queries_per_template=2,
+        warmup_iterations=6,
+        warmup_top_k=3,
+        search_iterations=4,
+        template_proxy_iterations=4,
+        max_template_depth=2,
+        beam_width=1,
+        tpe_startup_trials=3,
+        seed=0,
+    )
+
+
+class TestRunMethod:
+    def test_unknown_method_raises(self, tiny_student):
+        with pytest.raises(ValueError):
+            run_method(tiny_student, "Magic", "LR")
+
+    def test_base_method(self, tiny_student):
+        result = run_method(tiny_student, "Base", "LR", n_features=4)
+        assert isinstance(result, MethodResult)
+        assert result.n_features == 0
+        assert result.metric_name == "auc"
+
+    @pytest.mark.parametrize("method", ["FT", "FT+MI", "FT+LR", "Random"])
+    def test_one_to_many_baselines(self, tiny_student, runner_config, method):
+        result = run_method(tiny_student, method, "LR", n_features=4, config=runner_config)
+        assert 0.0 <= result.metric <= 1.0
+        assert result.n_features > 0
+
+    def test_feataug_full(self, tiny_student, runner_config):
+        result = run_method(tiny_student, "FeatAug", "LR", n_features=4, config=runner_config)
+        assert 0.0 <= result.metric <= 1.0
+        assert "qti_seconds" in result.details
+
+    def test_feataug_ablations_flagged(self, tiny_student, runner_config):
+        nowu = run_method(tiny_student, "FeatAug-NoWU", "LR", n_features=4, config=runner_config)
+        noqti = run_method(tiny_student, "FeatAug-NoQTI", "LR", n_features=4, config=runner_config)
+        assert nowu.method == "FeatAug-NoWU"
+        assert noqti.details["qti_seconds"] == 0.0
+
+    @pytest.mark.parametrize("method", ["ARDA", "AutoFeat-MAB", "AutoFeat-DQN"])
+    def test_one_to_one_methods(self, tiny_household, runner_config, method):
+        result = run_method(tiny_household, method, "LR", n_features=5, config=runner_config)
+        assert result.metric_name == "f1"
+        assert 0.0 <= result.metric <= 1.0
+
+    def test_regression_dataset_reports_rmse(self, tiny_merchant, runner_config):
+        result = run_method(tiny_merchant, "FT", "LR", n_features=4, config=runner_config)
+        assert result.metric_name == "rmse"
+        assert result.metric > 0
+
+    def test_seconds_recorded(self, tiny_student, runner_config):
+        result = run_method(tiny_student, "FT", "LR", n_features=3, config=runner_config)
+        assert result.seconds > 0
+
+    def test_method_names_cover_paper_baselines(self):
+        for name in ("FT", "FT+LR", "FT+GBDT", "FT+MI", "FT+Chi2", "FT+Gini",
+                     "FT+Forward", "FT+Backward", "Random", "ARDA",
+                     "AutoFeat-MAB", "AutoFeat-DQN", "FeatAug"):
+            assert name in METHOD_NAMES

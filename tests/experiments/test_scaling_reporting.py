@@ -1,0 +1,96 @@
+"""Unit tests for the scaling sweeps and the reporting helpers."""
+
+import pytest
+
+from repro.core.config import FeatAugConfig
+from repro.experiments.reporting import format_results_table, format_timing_table, render_table
+from repro.experiments.runner import MethodResult
+from repro.experiments.scaling import (
+    ScalingPoint,
+    run_scaling_rows_relevant,
+    subsample_relevant,
+    subsample_train,
+    widen_relevant_table,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return FeatAugConfig(
+        n_templates=1,
+        queries_per_template=1,
+        warmup_iterations=4,
+        warmup_top_k=2,
+        search_iterations=2,
+        template_proxy_iterations=3,
+        max_template_depth=1,
+        beam_width=1,
+        tpe_startup_trials=2,
+        seed=0,
+    )
+
+
+class TestDatasetTransforms:
+    def test_widen_multiplies_columns(self, tiny_student):
+        widened = widen_relevant_table(tiny_student, n_copies=3)
+        base_cols = tiny_student.relevant.num_columns - len(tiny_student.keys)
+        expected = len(tiny_student.keys) + 3 * base_cols
+        assert widened.relevant.num_columns == expected
+
+    def test_widen_preserves_rows(self, tiny_student):
+        widened = widen_relevant_table(tiny_student, n_copies=2)
+        assert widened.relevant.num_rows == tiny_student.relevant.num_rows
+
+    def test_subsample_train_reduces_rows_and_filters_relevant(self, tiny_student):
+        reduced = subsample_train(tiny_student, n_rows=30)
+        assert reduced.train.num_rows == 30
+        assert reduced.relevant.num_rows <= tiny_student.relevant.num_rows
+        train_keys = set(reduced.train.column(reduced.keys[0]).values)
+        relevant_keys = set(reduced.relevant.column(reduced.keys[0]).values)
+        assert relevant_keys <= train_keys
+
+    def test_subsample_relevant_keeps_train(self, tiny_student):
+        reduced = subsample_relevant(tiny_student, n_rows=200)
+        assert reduced.relevant.num_rows == 200
+        assert reduced.train.num_rows == tiny_student.train.num_rows
+
+    def test_subsample_never_exceeds_available(self, tiny_student):
+        reduced = subsample_train(tiny_student, n_rows=10**6)
+        assert reduced.train.num_rows == tiny_student.train.num_rows
+
+
+class TestScalingSweep:
+    def test_relevant_row_sweep_produces_points(self, tiny_student, tiny_config):
+        sizes = [200, 400]
+        points = run_scaling_rows_relevant(tiny_student, sizes, model_name="LR", config=tiny_config)
+        assert [p.size for p in points] == sizes
+        for point in points:
+            assert point.total_seconds > 0
+            assert point.qti_seconds >= 0
+            assert point.generate_seconds > 0
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2.34567], ["x", None]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.3457" in text
+        assert "-" in lines[-1]
+
+    def test_format_results_with_paper_reference(self):
+        results = [
+            MethodResult("student", "FeatAug", "LR", 0.61, "auc", 1.0, 4),
+            MethodResult("student", "FT", "LR", 0.55, "auc", 0.5, 4),
+        ]
+        reference = {("student", "FeatAug", "LR"): 0.5935}
+        text = format_results_table(results, reference)
+        assert "paper" in text
+        assert "0.5935" in text
+        assert "FeatAug" in text
+
+    def test_format_timing_table(self):
+        points = [ScalingPoint(size=100, qti_seconds=1.0, warmup_seconds=0.5, generate_seconds=0.25)]
+        text = format_timing_table(points, x_label="rows")
+        assert "rows" in text
+        assert "1.7500" in text

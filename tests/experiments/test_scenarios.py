@@ -1,0 +1,64 @@
+"""Consistency checks on the scenario grids and paper reference values."""
+
+import pytest
+
+from repro.datasets import DATASET_NAMES
+from repro.experiments.runner import METHOD_NAMES
+from repro.experiments.scenarios import (
+    MODELS,
+    ONE_TO_MANY_DATASETS,
+    ONE_TO_ONE_DATASETS,
+    PAPER_TABLE3,
+    PAPER_TABLE6,
+    PAPER_TABLE7,
+    PAPER_TABLE8,
+)
+from repro.ml.model_zoo import MODEL_NAMES
+
+
+class TestScenarioGrids:
+    def test_dataset_partition(self):
+        assert set(ONE_TO_MANY_DATASETS) | set(ONE_TO_ONE_DATASETS) == set(DATASET_NAMES)
+        assert not set(ONE_TO_MANY_DATASETS) & set(ONE_TO_ONE_DATASETS)
+
+    def test_models_match_model_zoo(self):
+        assert set(MODELS) == set(MODEL_NAMES)
+
+
+class TestPaperReferenceTables:
+    @pytest.mark.parametrize("table", [PAPER_TABLE3, PAPER_TABLE6, PAPER_TABLE7])
+    def test_keys_reference_known_datasets_and_models(self, table):
+        for dataset, method, model in table:
+            assert dataset in DATASET_NAMES
+            assert model in MODEL_NAMES
+            assert method in METHOD_NAMES
+
+    def test_table3_covers_all_one_to_many_datasets_and_models(self):
+        for dataset in ONE_TO_MANY_DATASETS:
+            for model in MODELS:
+                assert (dataset, "FeatAug", model) in PAPER_TABLE3
+                assert (dataset, "FT", model) in PAPER_TABLE3
+
+    def test_table6_covers_one_to_one_datasets(self):
+        for dataset in ONE_TO_ONE_DATASETS:
+            assert (dataset, "FeatAug", "LR") in PAPER_TABLE6
+
+    def test_auc_values_in_unit_interval(self):
+        for (dataset, _, _), value in PAPER_TABLE3.items():
+            if dataset != "merchant":
+                assert 0.0 <= value <= 1.0
+
+    def test_rmse_values_positive(self):
+        for (dataset, _, _), value in PAPER_TABLE3.items():
+            if dataset == "merchant":
+                assert value > 0
+
+    def test_table7_full_beats_noqti_in_paper(self):
+        """Sanity check that the transcribed ablation numbers preserve the paper's ordering."""
+        for dataset in ("tmall", "instacart", "student"):
+            full = PAPER_TABLE7[(dataset, "FeatAug", "LR")]
+            noqti = PAPER_TABLE7[(dataset, "FeatAug-NoQTI", "LR")]
+            assert full >= noqti
+
+    def test_table8_proxies_use_lr_model(self):
+        assert all(model == "LR" for (_, _, model) in PAPER_TABLE8)

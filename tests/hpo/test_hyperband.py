@@ -1,0 +1,85 @@
+"""Unit tests for successive halving and Hyperband."""
+
+import numpy as np
+import pytest
+
+from repro.hpo.hyperband import HyperbandOptimizer, successive_halving
+from repro.hpo.space import CategoricalDimension, RealDimension, SearchSpace
+from repro.hpo.trial import TrialHistory
+
+
+@pytest.fixture
+def space():
+    return SearchSpace([RealDimension("x", -10, 10), CategoricalDimension("c", ["a", "b"])])
+
+
+def budgeted_quadratic(params, budget):
+    """Noisy at small budgets, exact at full budget."""
+    noise = (1.0 - budget) * 2.0
+    return (params["x"] - 3) ** 2 + (0.5 if params["c"] == "b" else 0.0) + noise
+
+
+class TestSuccessiveHalving:
+    def test_returns_best_of_final_round(self, space):
+        result = successive_halving(budgeted_quadratic, space, n_configs=9, seed=0)
+        assert np.isfinite(result.best_value)
+        assert "x" in result.best_params
+
+    def test_budget_schedule_grows(self, space):
+        result = successive_halving(budgeted_quadratic, space, n_configs=9, min_budget=0.1, eta=3, seed=0)
+        budgets = [b for b, _ in result.rounds]
+        assert budgets == sorted(budgets)
+        assert budgets[-1] == pytest.approx(1.0) or len(budgets) == 1
+
+    def test_survivor_counts_shrink(self, space):
+        result = successive_halving(budgeted_quadratic, space, n_configs=9, min_budget=0.1, eta=3, seed=0)
+        counts = [n for _, n in result.rounds]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_total_evaluations_bounded(self, space):
+        result = successive_halving(budgeted_quadratic, space, n_configs=9, min_budget=0.1, eta=3, seed=0)
+        # 9 at 0.1, 3 at 0.3, 1 at 0.9 and the final survivor at full budget.
+        assert result.n_evaluations <= 9 + 3 + 1 + 1
+
+    def test_history_records_budgets(self, space):
+        history = TrialHistory()
+        successive_halving(budgeted_quadratic, space, n_configs=4, seed=0, history=history)
+        assert len(history) > 0
+        assert all("budget" in t.metadata for t in history)
+
+    def test_single_config_finishes_at_full_budget(self, space):
+        result = successive_halving(budgeted_quadratic, space, n_configs=1, seed=0)
+        assert result.rounds[-1][0] == pytest.approx(1.0)
+        assert result.n_evaluations == len(result.rounds)
+
+    def test_invalid_parameters(self, space):
+        with pytest.raises(ValueError):
+            successive_halving(budgeted_quadratic, space, n_configs=0)
+        with pytest.raises(ValueError):
+            successive_halving(budgeted_quadratic, space, n_configs=2, eta=1.0)
+        with pytest.raises(ValueError):
+            successive_halving(budgeted_quadratic, space, n_configs=2, min_budget=0.0)
+
+
+class TestHyperband:
+    def test_finds_reasonable_optimum(self, space):
+        optimizer = HyperbandOptimizer(space, min_budget=0.2, eta=3, seed=0)
+        best = optimizer.minimize(budgeted_quadratic, n_configs=6)
+        assert best.value < 5.0
+
+    def test_history_accumulates_across_brackets(self, space):
+        optimizer = HyperbandOptimizer(space, min_budget=0.2, eta=3, seed=0)
+        optimizer.minimize(budgeted_quadratic, n_configs=4)
+        assert len(optimizer.history) > 4
+
+    def test_deterministic_given_seed(self, space):
+        def run(seed):
+            return HyperbandOptimizer(space, seed=seed).minimize(budgeted_quadratic, n_configs=4).value
+
+        assert run(3) == run(3)
+
+    def test_invalid_budgets_rejected(self, space):
+        with pytest.raises(ValueError):
+            HyperbandOptimizer(space, min_budget=0.0)
+        with pytest.raises(ValueError):
+            HyperbandOptimizer(space, eta=1.0)

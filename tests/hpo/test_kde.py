@@ -1,0 +1,66 @@
+"""Unit tests for the TPE density estimators."""
+
+import numpy as np
+import pytest
+
+from repro.hpo.kde import CategoricalDensity, GaussianKDE
+
+
+class TestCategoricalDensity:
+    def test_probabilities_sum_to_one(self):
+        density = CategoricalDensity(["a", "b", "c"], ["a", "a", "b"])
+        total = sum(density.pdf(c) for c in ["a", "b", "c"])
+        assert total == pytest.approx(1.0)
+
+    def test_frequent_value_has_higher_density(self):
+        density = CategoricalDensity(["a", "b"], ["a", "a", "a", "b"])
+        assert density.pdf("a") > density.pdf("b")
+
+    def test_smoothing_gives_unseen_values_mass(self):
+        density = CategoricalDensity(["a", "b"], ["a", "a"])
+        assert density.pdf("b") > 0
+
+    def test_none_choice_supported(self):
+        density = CategoricalDensity([None, "a"], [None, None, "a"])
+        assert density.pdf(None) > density.pdf("a")
+
+    def test_unknown_value_tiny_density(self):
+        density = CategoricalDensity(["a"], ["a"])
+        assert density.pdf("zzz") == pytest.approx(1e-12)
+
+    def test_sample_returns_choices(self, rng):
+        density = CategoricalDensity(["a", "b"], ["a"])
+        for _ in range(20):
+            assert density.sample(rng) in ("a", "b")
+
+
+class TestGaussianKDE:
+    def test_density_peaks_near_observations(self):
+        kde = GaussianKDE(0, 10, [2.0, 2.1, 1.9])
+        assert kde.pdf(2.0) > kde.pdf(8.0)
+
+    def test_uniform_fallback_with_no_observations(self):
+        kde = GaussianKDE(0, 10, [])
+        assert kde.pdf(3.0) == pytest.approx(kde.pdf(7.0))
+
+    def test_none_weight_tracked(self):
+        kde = GaussianKDE(0, 1, [None, None, 0.5, 0.5])
+        assert kde.none_weight == pytest.approx(0.5)
+        assert kde.pdf(None) == pytest.approx(0.5)
+
+    def test_samples_within_bounds(self, rng):
+        kde = GaussianKDE(0, 1, [0.2, 0.8])
+        for _ in range(50):
+            value = kde.sample(rng)
+            if value is not None:
+                assert 0.0 <= value <= 1.0
+
+    def test_sample_can_return_none_when_observed(self, rng):
+        kde = GaussianKDE(0, 1, [None] * 9 + [0.5])
+        samples = [kde.sample(rng) for _ in range(40)]
+        assert any(s is None for s in samples)
+
+    def test_pdf_positive_everywhere_in_bounds(self):
+        kde = GaussianKDE(0, 100, [50.0])
+        assert kde.pdf(0.0) > 0
+        assert kde.pdf(100.0) > 0

@@ -1,0 +1,101 @@
+"""Unit tests for the HPO search-space primitives."""
+
+import numpy as np
+import pytest
+
+from repro.hpo.space import CategoricalDimension, IntegerDimension, RealDimension, SearchSpace
+
+
+class TestCategoricalDimension:
+    def test_sample_is_a_choice(self, rng):
+        dim = CategoricalDimension("f", ["SUM", "AVG", "MAX"])
+        for _ in range(20):
+            assert dim.sample(rng) in dim.choices
+
+    def test_contains(self):
+        dim = CategoricalDimension("f", ["a", None])
+        assert dim.contains("a")
+        assert dim.contains(None)
+        assert not dim.contains("z")
+
+    def test_index_of(self):
+        dim = CategoricalDimension("f", ["a", "b"])
+        assert dim.index_of("b") == 1
+
+    def test_index_of_missing_raises(self):
+        with pytest.raises(ValueError):
+            CategoricalDimension("f", ["a"]).index_of("z")
+
+    def test_empty_choices_rejected(self):
+        with pytest.raises(ValueError):
+            CategoricalDimension("f", [])
+
+
+class TestRealDimension:
+    def test_sample_in_bounds(self, rng):
+        dim = RealDimension("x", 2.0, 5.0)
+        samples = [dim.sample(rng) for _ in range(50)]
+        assert all(2.0 <= s <= 5.0 for s in samples)
+
+    def test_optional_can_return_none(self, rng):
+        dim = RealDimension("x", 0.0, 1.0, optional=True, none_probability=0.9)
+        samples = [dim.sample(rng) for _ in range(30)]
+        assert any(s is None for s in samples)
+
+    def test_non_optional_never_none(self, rng):
+        dim = RealDimension("x", 0.0, 1.0)
+        assert all(dim.sample(rng) is not None for _ in range(30))
+
+    def test_contains_none_only_when_optional(self):
+        assert RealDimension("x", 0, 1, optional=True).contains(None)
+        assert not RealDimension("x", 0, 1).contains(None)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            RealDimension("x", 5.0, 1.0)
+
+
+class TestIntegerDimension:
+    def test_sample_is_integer_in_bounds(self, rng):
+        dim = IntegerDimension("k", 1, 4)
+        samples = [dim.sample(rng) for _ in range(40)]
+        assert all(isinstance(s, int) and 1 <= s <= 4 for s in samples)
+
+    def test_contains(self):
+        dim = IntegerDimension("k", 0, 10)
+        assert dim.contains(5)
+        assert not dim.contains(11)
+
+
+class TestSearchSpace:
+    def test_sample_has_all_dimensions(self, rng):
+        space = SearchSpace(
+            [CategoricalDimension("a", [1, 2]), RealDimension("b", 0, 1), IntegerDimension("c", 0, 3)]
+        )
+        point = space.sample(rng)
+        assert set(point) == {"a", "b", "c"}
+
+    def test_validate_accepts_sampled_points(self, rng):
+        space = SearchSpace([CategoricalDimension("a", ["x"]), RealDimension("b", 0, 1, optional=True)])
+        for _ in range(20):
+            space.validate(space.sample(rng))
+
+    def test_validate_rejects_missing_dimension(self):
+        space = SearchSpace([CategoricalDimension("a", ["x"])])
+        with pytest.raises(ValueError):
+            space.validate({})
+
+    def test_validate_rejects_out_of_domain(self):
+        space = SearchSpace([RealDimension("b", 0, 1)])
+        with pytest.raises(ValueError):
+            space.validate({"b": 5.0})
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            SearchSpace([CategoricalDimension("a", [1]), CategoricalDimension("a", [2])])
+
+    def test_getitem_and_names(self):
+        space = SearchSpace([CategoricalDimension("a", [1]), RealDimension("b", 0, 1)])
+        assert space.names == ["a", "b"]
+        assert space["b"].low == 0
+        assert len(space) == 2

@@ -1,0 +1,68 @@
+"""Unit tests for the DeepFM classifier."""
+
+import numpy as np
+import pytest
+
+from repro.ml.deepfm import DeepFMClassifier
+from repro.ml.metrics import roc_auc_score
+
+
+def make_interaction_data(n=600, seed=0):
+    """Labels driven by a feature interaction -- the case FM models excel at."""
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 4, size=n).astype(float)
+    b = rng.integers(0, 4, size=n).astype(float)
+    noise = rng.normal(0, 0.3, size=n)
+    y = ((a == b).astype(float) + noise > 0.5).astype(float)
+    X = np.column_stack([a, b, rng.normal(size=n)])
+    return X, y
+
+
+class TestDeepFM:
+    def test_learns_interactions(self):
+        X, y = make_interaction_data()
+        model = DeepFMClassifier(n_epochs=12, embedding_dim=6, random_state=0).fit(X, y)
+        assert roc_auc_score(y, model.predict_proba(X)[:, 1]) > 0.75
+
+    def test_heldout_better_than_chance(self):
+        X, y = make_interaction_data(seed=1)
+        model = DeepFMClassifier(n_epochs=10, random_state=0).fit(X[:450], y[:450])
+        assert roc_auc_score(y[450:], model.predict_proba(X[450:])[:, 1]) > 0.6
+
+    def test_probabilities_valid(self):
+        X, y = make_interaction_data(200)
+        proba = DeepFMClassifier(n_epochs=3, random_state=0).fit(X, y).predict_proba(X)
+        assert proba.shape == (200, 2)
+        assert np.all((proba >= 0) & (proba <= 1))
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_predict_labels_are_original_classes(self):
+        X, y01 = make_interaction_data(200)
+        y = np.where(y01 == 1, 7.0, 3.0)
+        model = DeepFMClassifier(n_epochs=3, random_state=0).fit(X, y)
+        assert set(np.unique(model.predict(X))) <= {3.0, 7.0}
+
+    def test_rejects_multiclass(self):
+        X = np.random.default_rng(0).normal(size=(30, 2))
+        y = np.asarray([0, 1, 2] * 10, dtype=float)
+        with pytest.raises(ValueError):
+            DeepFMClassifier().fit(X, y)
+
+    def test_handles_nan_inputs(self):
+        X, y = make_interaction_data(150)
+        X[::10, 0] = np.nan
+        model = DeepFMClassifier(n_epochs=2, random_state=0).fit(X, y)
+        proba = model.predict_proba(X)
+        assert np.all(np.isfinite(proba))
+
+    def test_deterministic_given_seed(self):
+        X, y = make_interaction_data(150)
+        a = DeepFMClassifier(n_epochs=2, random_state=5).fit(X, y).predict_proba(X)
+        b = DeepFMClassifier(n_epochs=2, random_state=5).fit(X, y).predict_proba(X)
+        assert np.allclose(a, b)
+
+    def test_clone_unfitted(self):
+        model = DeepFMClassifier(n_epochs=4)
+        clone = model.clone()
+        assert clone.n_epochs == 4
+        assert not hasattr(clone, "_V")

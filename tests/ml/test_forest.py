@@ -1,0 +1,78 @@
+"""Unit tests for random forests."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+from repro.ml.metrics import accuracy_score, rmse, roc_auc_score
+
+
+def make_classification(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 4))
+    y = (X[:, 0] + X[:, 1] ** 2 > 0.5).astype(float)
+    return X, y
+
+
+class TestRandomForestClassifier:
+    def test_beats_chance(self):
+        X, y = make_classification()
+        model = RandomForestClassifier(n_estimators=10, max_depth=5, random_state=0).fit(X, y)
+        proba = model.predict_proba(X)[:, 1]
+        assert roc_auc_score(y, proba) > 0.85
+
+    def test_heldout_generalisation(self):
+        X, y = make_classification(seed=1)
+        model = RandomForestClassifier(n_estimators=10, max_depth=5, random_state=0).fit(X[:300], y[:300])
+        assert accuracy_score(y[300:], model.predict(X[300:])) > 0.7
+
+    def test_proba_shape(self):
+        X, y = make_classification(100)
+        proba = RandomForestClassifier(n_estimators=5, random_state=0).fit(X, y).predict_proba(X)
+        assert proba.shape == (100, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_feature_importances_informative_first(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(400, 3))
+        y = (X[:, 0] > 0).astype(float)
+        model = RandomForestClassifier(n_estimators=10, max_depth=4, random_state=0).fit(X, y)
+        assert np.argmax(model.feature_importances_) == 0
+
+    def test_deterministic_given_seed(self):
+        X, y = make_classification(150)
+        a = RandomForestClassifier(n_estimators=5, random_state=3).fit(X, y).predict(X)
+        b = RandomForestClassifier(n_estimators=5, random_state=3).fit(X, y).predict(X)
+        assert np.array_equal(a, b)
+
+    def test_multiclass_labels(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(300, 3))
+        y = np.argmax(X, axis=1).astype(float)
+        model = RandomForestClassifier(n_estimators=10, max_depth=5, random_state=0).fit(X, y)
+        assert accuracy_score(y, model.predict(X)) > 0.75
+        assert model.predict_proba(X).shape == (300, 3)
+
+
+class TestRandomForestRegressor:
+    def test_fits_smooth_function(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0, 1, size=(400, 1))
+        y = np.sin(4 * X[:, 0])
+        model = RandomForestRegressor(n_estimators=10, max_depth=6, random_state=0).fit(X, y)
+        assert rmse(y, model.predict(X)) < 0.25
+
+    def test_ensemble_not_much_worse_than_single_tree_heldout(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(300, 2))
+        y = X[:, 0] * X[:, 1] + rng.normal(0, 0.2, size=300)
+        forest = RandomForestRegressor(n_estimators=15, max_depth=5, random_state=0).fit(X[:200], y[:200])
+        single = RandomForestRegressor(n_estimators=1, max_depth=5, random_state=0).fit(X[:200], y[:200])
+        # Bagging should not degrade held-out error noticeably (usually it helps).
+        assert rmse(y[200:], forest.predict(X[200:])) <= rmse(y[200:], single.predict(X[200:])) + 0.25
+
+    def test_prediction_shape(self):
+        X = np.random.default_rng(2).normal(size=(50, 3))
+        y = X.sum(axis=1)
+        pred = RandomForestRegressor(n_estimators=3, random_state=0).fit(X, y).predict(X)
+        assert pred.shape == (50,)

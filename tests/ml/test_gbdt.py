@@ -1,0 +1,90 @@
+"""Unit tests for gradient boosting (the "XGB" downstream model)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.gbdt import GradientBoostingClassifier, GradientBoostingRegressor
+from repro.ml.metrics import accuracy_score, rmse, roc_auc_score
+
+
+def make_binary(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 4))
+    y = (X[:, 0] * X[:, 1] + X[:, 2] > 0).astype(float)
+    return X, y
+
+
+class TestGradientBoostingClassifier:
+    def test_fits_interaction(self):
+        X, y = make_binary()
+        model = GradientBoostingClassifier(n_estimators=30, max_depth=3).fit(X, y)
+        assert roc_auc_score(y, model.predict_proba(X)[:, 1]) > 0.9
+
+    def test_heldout_better_than_chance(self):
+        X, y = make_binary(seed=1)
+        model = GradientBoostingClassifier(n_estimators=25, max_depth=3).fit(X[:300], y[:300])
+        assert roc_auc_score(y[300:], model.predict_proba(X[300:])[:, 1]) > 0.75
+
+    def test_more_rounds_reduce_training_loss(self):
+        X, y = make_binary(200, seed=2)
+        few = GradientBoostingClassifier(n_estimators=3).fit(X, y)
+        many = GradientBoostingClassifier(n_estimators=40).fit(X, y)
+        assert accuracy_score(y, many.predict(X)) >= accuracy_score(y, few.predict(X))
+
+    def test_probabilities_valid(self):
+        X, y = make_binary(150)
+        proba = GradientBoostingClassifier(n_estimators=10).fit(X, y).predict_proba(X)
+        assert np.all((proba >= 0) & (proba <= 1))
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_rejects_multiclass(self):
+        X = np.random.default_rng(0).normal(size=(30, 2))
+        y = np.asarray([0, 1, 2] * 10, dtype=float)
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier().fit(X, y)
+
+    def test_non_01_binary_labels(self):
+        X, y01 = make_binary(200)
+        y = np.where(y01 == 1, 5.0, 2.0)
+        model = GradientBoostingClassifier(n_estimators=10).fit(X, y)
+        assert set(np.unique(model.predict(X))) <= {2.0, 5.0}
+
+    def test_feature_importances_sum_to_one(self):
+        X, y = make_binary(300)
+        model = GradientBoostingClassifier(n_estimators=15).fit(X, y)
+        assert model.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_subsample_runs(self):
+        X, y = make_binary(200)
+        model = GradientBoostingClassifier(n_estimators=10, subsample=0.6).fit(X, y)
+        assert model.predict(X).shape == (200,)
+
+
+class TestGradientBoostingRegressor:
+    def test_fits_nonlinear_function(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-2, 2, size=(400, 1))
+        y = X[:, 0] ** 2
+        model = GradientBoostingRegressor(n_estimators=40, max_depth=3).fit(X, y)
+        assert rmse(y, model.predict(X)) < 0.5
+
+    def test_base_score_is_mean(self):
+        X = np.zeros((10, 1))
+        y = np.full(10, 4.2)
+        model = GradientBoostingRegressor(n_estimators=1).fit(X, y)
+        assert model.base_score_ == pytest.approx(4.2)
+
+    def test_learning_rate_effect(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(200, 2))
+        y = X[:, 0] * 3
+        slow = GradientBoostingRegressor(n_estimators=5, learning_rate=0.01).fit(X, y)
+        fast = GradientBoostingRegressor(n_estimators=5, learning_rate=0.5).fit(X, y)
+        assert rmse(y, fast.predict(X)) < rmse(y, slow.predict(X))
+
+    def test_heldout_rmse_reasonable(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(500, 3))
+        y = 2 * X[:, 0] - X[:, 1] + rng.normal(0, 0.1, size=500)
+        model = GradientBoostingRegressor(n_estimators=40, max_depth=3).fit(X[:400], y[:400])
+        assert rmse(y[400:], model.predict(X[400:])) < 1.0

@@ -1,0 +1,85 @@
+"""Unit tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import accuracy_score, f1_score_macro, log_loss, rmse, roc_auc_score
+
+
+class TestAUC:
+    def test_perfect_ranking(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_inverted_ranking(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=5000)
+        s = rng.uniform(size=5000)
+        assert roc_auc_score(y, s) == pytest.approx(0.5, abs=0.03)
+
+    def test_ties_averaged(self):
+        assert roc_auc_score([0, 1], [0.5, 0.5]) == 0.5
+
+    def test_single_class_returns_half(self):
+        assert roc_auc_score([1, 1, 1], [0.2, 0.3, 0.4]) == 0.5
+
+    def test_invariant_to_monotonic_transform(self):
+        y = [0, 1, 0, 1, 1, 0]
+        s = np.asarray([0.2, 0.7, 0.3, 0.9, 0.6, 0.1])
+        assert roc_auc_score(y, s) == roc_auc_score(y, s * 10 - 3)
+
+
+class TestAccuracy:
+    def test_all_correct(self):
+        assert accuracy_score([1, 0, 1], [1, 0, 1]) == 1.0
+
+    def test_half_correct(self):
+        assert accuracy_score([1, 0], [1, 1]) == 0.5
+
+    def test_empty(self):
+        assert accuracy_score([], []) == 0.0
+
+
+class TestF1Macro:
+    def test_perfect(self):
+        assert f1_score_macro([0, 1, 2], [0, 1, 2]) == 1.0
+
+    def test_all_wrong(self):
+        assert f1_score_macro([0, 0, 1, 1], [1, 1, 0, 0]) == 0.0
+
+    def test_macro_averages_over_true_classes(self):
+        y_true = [0, 0, 0, 1]
+        y_pred = [0, 0, 0, 0]
+        # class 0: precision 0.75, recall 1 -> f1 = 6/7 ; class 1: f1 = 0
+        assert f1_score_macro(y_true, y_pred) == pytest.approx((6 / 7) / 2)
+
+    def test_multiclass_range(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 4, size=200)
+        p = rng.integers(0, 4, size=200)
+        assert 0.0 <= f1_score_macro(y, p) <= 1.0
+
+
+class TestRMSE:
+    def test_zero_for_exact(self):
+        assert rmse([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+
+    def test_scale_invariance_shape(self):
+        y = np.asarray([1.0, 2.0, 3.0])
+        assert rmse(y, y + 1) == pytest.approx(1.0)
+
+
+class TestLogLoss:
+    def test_confident_correct_is_small(self):
+        assert log_loss([1, 0], [0.99, 0.01]) < 0.02
+
+    def test_confident_wrong_is_large(self):
+        assert log_loss([1, 0], [0.01, 0.99]) > 4.0
+
+    def test_clipping_avoids_infinity(self):
+        assert np.isfinite(log_loss([1], [0.0]))

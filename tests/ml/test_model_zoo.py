@@ -1,0 +1,65 @@
+"""Unit tests for the downstream model factory."""
+
+import pytest
+
+from repro.ml.base import is_classifier
+from repro.ml.deepfm import DeepFMClassifier
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+from repro.ml.gbdt import GradientBoostingClassifier, GradientBoostingRegressor
+from repro.ml.linear import LinearRegression, LogisticRegression
+from repro.ml.model_zoo import MODEL_NAMES, make_model
+
+
+class TestMakeModel:
+    def test_lr_binary(self):
+        assert isinstance(make_model("LR", "binary"), LogisticRegression)
+
+    def test_lr_regression(self):
+        assert isinstance(make_model("LR", "regression"), LinearRegression)
+
+    def test_xgb_binary(self):
+        assert isinstance(make_model("XGB", "binary"), GradientBoostingClassifier)
+
+    def test_xgb_regression(self):
+        assert isinstance(make_model("XGB", "regression"), GradientBoostingRegressor)
+
+    def test_xgb_multiclass_falls_back_to_forest(self):
+        assert isinstance(make_model("XGB", "multiclass"), RandomForestClassifier)
+
+    def test_rf_binary(self):
+        assert isinstance(make_model("RF", "binary"), RandomForestClassifier)
+
+    def test_rf_regression(self):
+        assert isinstance(make_model("RF", "regression"), RandomForestRegressor)
+
+    def test_deepfm_binary(self):
+        assert isinstance(make_model("DeepFM", "binary"), DeepFMClassifier)
+
+    def test_deepfm_rejects_regression(self):
+        with pytest.raises(ValueError):
+            make_model("DeepFM", "regression")
+
+    def test_deepfm_rejects_multiclass(self):
+        with pytest.raises(ValueError):
+            make_model("DeepFM", "multiclass")
+
+    def test_case_insensitive(self):
+        assert isinstance(make_model("lr", "binary"), LogisticRegression)
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ValueError):
+            make_model("SVM", "binary")
+
+    def test_unknown_task_raises(self):
+        with pytest.raises(ValueError):
+            make_model("LR", "ranking")
+
+    def test_all_names_classification_instantiable(self):
+        for name in MODEL_NAMES:
+            model = make_model(name, "binary")
+            assert is_classifier(model)
+
+    def test_fast_flag_changes_capacity(self):
+        fast = make_model("XGB", "binary", fast=True)
+        slow = make_model("XGB", "binary", fast=False)
+        assert fast.n_estimators < slow.n_estimators

@@ -1,0 +1,135 @@
+"""Unit tests for multi-table schemas and deep-layer flattening."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe.table import Table
+from repro.query.multi_table import RelationalSchema, Relationship, flatten_relevant_tables
+
+
+@pytest.fixture
+def instacart_like_schema():
+    """Order items -> products -> departments, plus an unrelated table."""
+    order_items = Table.from_dict(
+        {
+            "user_id": ["u1", "u1", "u2", "u3", "u3", "u3"],
+            "product_id": [1.0, 2.0, 1.0, 3.0, 2.0, 9.0],  # 9 has no product row
+            "quantity": [2.0, 1.0, 4.0, 1.0, 5.0, 1.0],
+        }
+    )
+    products = Table.from_dict(
+        {
+            "product_id": [1.0, 2.0, 3.0],
+            "product_name": ["banana", "milk", "bread"],
+            "department_id": [10.0, 20.0, 30.0],
+            "price": [0.5, 2.5, 3.0],
+        }
+    )
+    departments = Table.from_dict(
+        {"department_id": [10.0, 20.0, 30.0], "department": ["produce", "dairy", "bakery"]}
+    )
+    schema = RelationalSchema({"order_items": order_items, "products": products, "departments": departments})
+    schema.add_relationship("order_items", "product_id", "products", "product_id")
+    schema.add_relationship("products", "department_id", "departments", "department_id")
+    return schema
+
+
+class TestSchemaConstruction:
+    def test_table_names(self, instacart_like_schema):
+        assert set(instacart_like_schema.table_names) == {"order_items", "products", "departments"}
+
+    def test_duplicate_table_rejected(self):
+        schema = RelationalSchema({"a": Table.from_dict({"x": [1]})})
+        with pytest.raises(ValueError):
+            schema.add_table("a", Table.from_dict({"x": [2]}))
+
+    def test_relationship_unknown_table_rejected(self, instacart_like_schema):
+        with pytest.raises(KeyError):
+            instacart_like_schema.add_relationship("orders", "id", "products", "product_id")
+
+    def test_relationship_unknown_column_rejected(self, instacart_like_schema):
+        with pytest.raises(KeyError):
+            instacart_like_schema.add_relationship("order_items", "nope", "products", "product_id")
+
+    def test_relationship_describe(self):
+        rel = Relationship("a", "x", "b", "y")
+        assert rel.describe() == "a.x -> b.y"
+
+    def test_parents_of(self, instacart_like_schema):
+        parents = instacart_like_schema.parents_of("order_items")
+        assert len(parents) == 1
+        assert parents[0].parent == "products"
+
+    def test_unknown_table_lookup(self, instacart_like_schema):
+        with pytest.raises(KeyError):
+            instacart_like_schema.table("missing")
+
+
+class TestFlatten:
+    def test_row_count_preserved(self, instacart_like_schema):
+        flattened = instacart_like_schema.flatten("order_items")
+        assert flattened.num_rows == instacart_like_schema.table("order_items").num_rows
+
+    def test_two_hop_columns_present(self, instacart_like_schema):
+        flattened = instacart_like_schema.flatten("order_items")
+        assert "products__product_name" in flattened
+        assert "departments__department" in flattened
+
+    def test_joined_values_correct(self, instacart_like_schema):
+        flattened = instacart_like_schema.flatten("order_items")
+        names = list(flattened.column("products__product_name").values)
+        departments = list(flattened.column("departments__department").values)
+        assert names[0] == "banana" and departments[0] == "produce"
+        assert names[1] == "milk" and departments[1] == "dairy"
+
+    def test_unmatched_child_rows_get_missing(self, instacart_like_schema):
+        flattened = instacart_like_schema.flatten("order_items")
+        assert flattened.column("products__product_name").values[5] is None
+
+    def test_max_depth_limits_joins(self, instacart_like_schema):
+        flattened = instacart_like_schema.flatten("order_items", max_depth=1)
+        assert "products__product_name" in flattened
+        assert "departments__department" not in flattened
+
+    def test_no_prefix_mode(self, instacart_like_schema):
+        flattened = instacart_like_schema.flatten("order_items", prefix_joined_columns=False)
+        assert "product_name" in flattened
+        assert "department" in flattened
+
+    def test_flatten_base_without_relationships(self):
+        schema = RelationalSchema({"only": Table.from_dict({"k": [1, 2], "v": [3.0, 4.0]})})
+        flattened = schema.flatten("only")
+        assert flattened.column_names == ["k", "v"]
+
+    def test_duplicate_parent_keys_deduplicated(self):
+        child = Table.from_dict({"k": [1.0, 2.0], "fk": [7.0, 7.0]})
+        parent = Table.from_dict({"fk": [7.0, 7.0], "value": [1.0, 99.0]})
+        schema = RelationalSchema({"child": child, "parent": parent})
+        schema.add_relationship("child", "fk", "parent", "fk")
+        flattened = schema.flatten("child")
+        assert flattened.num_rows == 2
+        assert list(flattened.column("parent__value").values) == [1.0, 1.0]
+
+
+class TestFlattenRelevantTables:
+    def test_keys_checked(self, instacart_like_schema):
+        flattened = flatten_relevant_tables(instacart_like_schema, "order_items", keys=["user_id"])
+        assert "user_id" in flattened
+
+    def test_missing_key_raises(self, instacart_like_schema):
+        with pytest.raises(KeyError):
+            flatten_relevant_tables(instacart_like_schema, "order_items", keys=["customer_id"])
+
+    def test_flattened_table_usable_by_feataug_query_layer(self, instacart_like_schema):
+        from repro.query.executor import execute_query
+        from repro.query.pool import QueryPool
+        from repro.query.template import QueryTemplate
+
+        flattened = flatten_relevant_tables(instacart_like_schema, "order_items", keys=["user_id"])
+        template = QueryTemplate(
+            ["SUM", "COUNT"], ["quantity"], ["departments__department"], ["user_id"]
+        )
+        pool = QueryPool(template, flattened)
+        query = pool.sample_random(seed=0, n=1)[0]
+        result = execute_query(query, flattened)
+        assert "feature" in result

@@ -1,0 +1,134 @@
+"""Unit tests for QueryPool (template -> search space -> query decoding)."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe.column import DType
+from repro.hpo.space import CategoricalDimension, RealDimension
+from repro.query.pool import QueryPool
+from repro.query.template import QueryTemplate
+
+
+@pytest.fixture
+def template():
+    return QueryTemplate(
+        ["SUM", "AVG", "MAX"], ["pprice"], ["department", "timestamp"], ["cname"]
+    )
+
+
+@pytest.fixture
+def pool(template, logs_table):
+    return QueryPool(template, logs_table, relation_name="User_Logs")
+
+
+class TestSpaceConstruction:
+    def test_dimension_names(self, pool):
+        names = pool.space.names
+        assert "agg_func" in names
+        assert "agg_attr" in names
+        assert "pred::department" in names
+        assert "pred_low::timestamp" in names
+        assert "pred_high::timestamp" in names
+        assert "group_keys" in names
+
+    def test_vector_layout_matches_paper_formula(self, pool, template):
+        """Section V.A: 2 + n + 2*m + |K| elements for n categorical and m numeric predicates."""
+        n_categorical = 1
+        n_numeric = 1
+        expected = 2 + n_categorical + 2 * n_numeric + 1
+        assert len(pool.space) == expected
+
+    def test_categorical_domain_includes_none(self, pool):
+        dim = pool.space["pred::department"]
+        assert isinstance(dim, CategoricalDimension)
+        assert None in dim.choices
+        assert "electronics" in dim.choices
+
+    def test_numeric_bounds_match_column(self, pool, logs_table):
+        dim = pool.space["pred_low::timestamp"]
+        assert isinstance(dim, RealDimension)
+        assert dim.low == logs_table.column("timestamp").min()
+        assert dim.high == logs_table.column("timestamp").max()
+
+    def test_group_keys_subsets(self, pool):
+        dim = pool.space["group_keys"]
+        assert ("cname",) in dim.choices
+
+    def test_missing_template_column_raises(self, logs_table):
+        bad = QueryTemplate(["SUM"], ["nope"], [], ["cname"])
+        with pytest.raises(KeyError):
+            QueryPool(bad, logs_table)
+
+    def test_domain_of(self, pool):
+        assert set(pool.domain_of("department")) >= {"electronics", "household", "media"}
+        low, high = pool.domain_of("timestamp")
+        assert low < high
+
+    def test_domain_of_unknown_raises(self, pool):
+        with pytest.raises(KeyError):
+            pool.domain_of("pprice")
+
+    def test_categorical_domain_capped(self, logs_table):
+        from repro.query.pool import MAX_CATEGORICAL_VALUES
+
+        wide = QueryTemplate(["SUM"], ["pprice"], ["pname"], ["cname"])
+        pool = QueryPool(wide, logs_table)
+        assert len(pool.domain_of("pname")) <= MAX_CATEGORICAL_VALUES
+
+
+class TestDecodeEncode:
+    def test_decode_produces_executable_query(self, pool, logs_table):
+        params = {
+            "agg_func": "AVG",
+            "agg_attr": "pprice",
+            "pred::department": "electronics",
+            "pred_low::timestamp": None,
+            "pred_high::timestamp": None,
+            "group_keys": ("cname",),
+        }
+        query = pool.decode(params)
+        assert query.agg_func == "AVG"
+        mask = query.build_predicate().mask(logs_table)
+        assert mask.sum() == 4
+
+    def test_decode_swaps_inverted_bounds(self, pool):
+        params = {
+            "agg_func": "SUM",
+            "agg_attr": "pprice",
+            "pred::department": None,
+            "pred_low::timestamp": 100.0,
+            "pred_high::timestamp": 50.0,
+            "group_keys": ("cname",),
+        }
+        query = pool.decode(params)
+        low, high = query.predicates["timestamp"]
+        assert low <= high
+
+    def test_encode_roundtrip(self, pool, rng):
+        params = pool.space.sample(rng)
+        query = pool.decode(params)
+        recovered = pool.encode(query)
+        assert pool.decode(recovered).signature() == query.signature()
+
+    def test_sample_random_queries_valid(self, pool, logs_table):
+        queries = pool.sample_random(seed=0, n=10)
+        assert len(queries) == 10
+        for query in queries:
+            mask = query.build_predicate().mask(logs_table)
+            assert mask.shape[0] == logs_table.num_rows
+
+    def test_group_keys_default_to_full_key(self, pool):
+        params = {
+            "agg_func": "SUM",
+            "agg_attr": "pprice",
+            "pred::department": None,
+            "pred_low::timestamp": None,
+            "pred_high::timestamp": None,
+            "group_keys": None,
+        }
+        query = pool.decode(params)
+        assert query.keys == ("cname",)
+
+    def test_relation_name_propagated(self, pool):
+        query = pool.sample_random(seed=1, n=1)[0]
+        assert "User_Logs" in query.to_sql()

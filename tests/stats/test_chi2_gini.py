@@ -1,0 +1,76 @@
+"""Unit tests for the chi-square and Gini selector statistics."""
+
+import numpy as np
+import pytest
+
+from repro.stats.chi2 import chi2_statistic
+from repro.stats.gini import gini_importance, gini_impurity
+
+
+class TestChi2:
+    def test_informative_feature_scores_higher(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=1000)
+        informative = y * 5.0 + rng.uniform(0, 1, size=1000)
+        noise = rng.uniform(0, 6, size=1000)
+        assert chi2_statistic(informative, y) > chi2_statistic(noise, y)
+
+    def test_single_class_is_zero(self):
+        assert chi2_statistic(np.arange(10.0), np.zeros(10)) == 0.0
+
+    def test_handles_negative_values_by_shifting(self):
+        y = np.asarray([0, 1] * 50)
+        x = np.asarray([-1.0, 1.0] * 50)
+        assert chi2_statistic(x, y) >= 0.0
+
+    def test_nan_rows_dropped(self):
+        y = np.asarray([0, 1, 0, 1])
+        x = np.asarray([1.0, np.nan, 1.0, 4.0])
+        assert np.isfinite(chi2_statistic(x, y))
+
+    def test_all_zero_feature(self):
+        y = np.asarray([0, 1] * 10)
+        assert chi2_statistic(np.zeros(20), y) == 0.0
+
+
+class TestGiniImpurity:
+    def test_pure_node_is_zero(self):
+        assert gini_impurity(np.zeros(10)) == 0.0
+
+    def test_balanced_binary_is_half(self):
+        assert gini_impurity(np.asarray([0, 1] * 10)) == pytest.approx(0.5)
+
+    def test_empty_is_zero(self):
+        assert gini_impurity(np.asarray([])) == 0.0
+
+    def test_bounded_by_one(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 10, size=200)
+        assert 0.0 <= gini_impurity(labels) < 1.0
+
+
+class TestGiniImportance:
+    def test_perfect_split_recovers_full_impurity(self):
+        x = np.asarray([0.0] * 50 + [1.0] * 50)
+        y = np.asarray([0] * 50 + [1] * 50)
+        assert gini_importance(x, y) == pytest.approx(0.5, abs=1e-6)
+
+    def test_uninformative_feature_is_low(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, size=500)
+        x = rng.normal(size=500)
+        assert gini_importance(x, y) < 0.05
+
+    def test_constant_feature_is_zero(self):
+        y = np.asarray([0, 1] * 20)
+        assert gini_importance(np.ones(40), y) == 0.0
+
+    def test_pure_labels_is_zero(self):
+        assert gini_importance(np.arange(10.0), np.zeros(10)) == 0.0
+
+    def test_informative_beats_noise(self):
+        rng = np.random.default_rng(2)
+        y = rng.integers(0, 2, size=400)
+        informative = y + rng.normal(0, 0.3, size=400)
+        noise = rng.normal(size=400)
+        assert gini_importance(informative, y) > gini_importance(noise, y)

@@ -1,0 +1,69 @@
+"""Unit tests for Pearson / Spearman correlation."""
+
+import numpy as np
+import pytest
+
+from repro.stats.correlation import pearson_correlation, rankdata, spearman_correlation
+
+
+class TestRankdata:
+    def test_simple_ranks(self):
+        assert list(rankdata(np.asarray([10.0, 30.0, 20.0]))) == [1.0, 3.0, 2.0]
+
+    def test_ties_share_average_rank(self):
+        ranks = rankdata(np.asarray([1.0, 2.0, 2.0, 3.0]))
+        assert list(ranks) == [1.0, 2.5, 2.5, 4.0]
+
+    def test_matches_scipy(self):
+        from scipy.stats import rankdata as scipy_rankdata
+
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 10, size=50).astype(float)
+        assert np.allclose(rankdata(values), scipy_rankdata(values))
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        x = np.asarray([1.0, 2.0, 3.0, 4.0])
+        assert pearson_correlation(x, 2 * x + 1) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.asarray([1.0, 2.0, 3.0, 4.0])
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_input_is_zero(self):
+        assert pearson_correlation(np.ones(10), np.arange(10.0)) == 0.0
+
+    def test_ignores_nan_pairs(self):
+        x = np.asarray([1.0, 2.0, np.nan, 4.0])
+        y = np.asarray([1.0, 2.0, 100.0, 4.0])
+        assert pearson_correlation(x, y) == pytest.approx(1.0)
+
+    def test_too_few_points_is_zero(self):
+        assert pearson_correlation(np.asarray([1.0]), np.asarray([2.0])) == 0.0
+
+    def test_matches_numpy_corrcoef(self):
+        rng = np.random.default_rng(1)
+        x, y = rng.normal(size=100), rng.normal(size=100)
+        assert pearson_correlation(x, y) == pytest.approx(np.corrcoef(x, y)[0, 1], abs=1e-9)
+
+
+class TestSpearman:
+    def test_monotonic_nonlinear_is_one(self):
+        x = np.asarray([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert spearman_correlation(x, np.exp(x)) == pytest.approx(1.0)
+
+    def test_matches_scipy(self):
+        from scipy.stats import spearmanr
+
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=80)
+        y = x + rng.normal(0, 0.5, size=80)
+        expected = spearmanr(x, y).statistic
+        assert spearman_correlation(x, y) == pytest.approx(expected, abs=1e-9)
+
+    def test_bounded(self):
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            x, y = rng.normal(size=30), rng.normal(size=30)
+            assert -1.0 <= spearman_correlation(x, y) <= 1.0
