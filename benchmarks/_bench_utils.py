@@ -12,6 +12,7 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.core.config import FeatAugConfig
+from repro.query.engine import engine_for
 
 #: Where the printed tables are persisted so EXPERIMENTS.md can reference them.
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -40,6 +41,16 @@ def bench_config(**overrides) -> FeatAugConfig:
         seed=0,
     )
     return config.with_overrides(**overrides) if overrides else config
+
+
+def cold_engine(table) -> None:
+    """Reset the shared query engine bound to *table*.
+
+    Timing comparisons between pipeline variants must each start from a cold
+    engine; otherwise later variants replay the earlier variants' query
+    traffic straight out of the shared mask/result caches.
+    """
+    engine_for(table).reset()
 
 
 def write_result(name: str, text: str) -> None:

@@ -1,0 +1,18 @@
+"""Mark every benchmark module as ``slow``.
+
+The full suite still runs them by default (tier-1 parity), but the fast
+development loop deselects them with ``pytest -m "not slow"`` and the
+benchmark smoke invocation runs them alone with ``pytest benchmarks -m slow``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+_BENCH_DIR = str(Path(__file__).parent.resolve())
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if str(item.fspath).startswith(_BENCH_DIR):
+            item.add_marker(pytest.mark.slow)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from _bench_utils import BENCH_FEATURES, bench_config, write_result
+from _bench_utils import BENCH_FEATURES, bench_config, cold_engine, write_result
 from repro.datasets import load_dataset
 from repro.experiments.reporting import render_table
 from repro.experiments.runner import run_method
@@ -27,6 +27,7 @@ def _run_beam_ablation():
     bundle = load_dataset("student", scale=0.2, seed=0)
     rows = []
     for label, overrides in SETTINGS:
+        cold_engine(bundle.relevant)
         config = bench_config(**overrides)
         result = run_method(bundle, "FeatAug", "LR", n_features=BENCH_FEATURES, config=config, seed=0)
         rows.append(

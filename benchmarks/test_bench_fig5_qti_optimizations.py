@@ -19,7 +19,7 @@ import time
 
 import pytest
 
-from _bench_utils import BENCH_FEATURES, bench_config, write_result
+from _bench_utils import BENCH_FEATURES, bench_config, cold_engine, write_result
 from repro.core.evaluation import ModelEvaluator
 from repro.core.feataug import FeatAug
 from repro.core.template_identification import QueryTemplateIdentifier
@@ -37,6 +37,7 @@ VARIANTS = (
 
 
 def _evaluate_variant(bundle, overrides):
+    cold_engine(bundle.relevant)
     config = bench_config(**overrides)
     train, valid, test = train_valid_test_split(bundle.train, (0.6, 0.2, 0.2), seed=0)
     search_evaluator = ModelEvaluator(

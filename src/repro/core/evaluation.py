@@ -24,7 +24,7 @@ from repro.ml.base import BaseEstimator, is_classifier
 from repro.ml.metrics import f1_score_macro, rmse, roc_auc_score
 from repro.ml.preprocessing import LabelEncoder, TableVectorizer
 from repro.query.augment import augment_training_table
-from repro.query.executor import execute_query
+from repro.query.engine import QueryEngine, resolve_engine
 from repro.query.query import PredicateAwareQuery
 
 
@@ -49,13 +49,17 @@ class ModelEvaluator:
         model: BaseEstimator,
         task: str,
         relevant_table: Table | None = None,
+        engine: QueryEngine | None = None,
     ):
         if task not in ("binary", "multiclass", "regression"):
             raise ValueError(f"Unknown task {task!r}")
         self.task = task
         self.label = label
         self.model = model
+        if relevant_table is None and engine is not None:
+            relevant_table = engine.table
         self.relevant_table = relevant_table
+        self._engine = engine
         self._train_table = train_table
         self._valid_table = valid_table
         self.base_features = [f for f in base_features if f != label]
@@ -86,21 +90,56 @@ class ModelEvaluator:
     # ------------------------------------------------------------------
     # Feature materialisation
     # ------------------------------------------------------------------
-    def feature_vectors_for_query(
-        self, query: PredicateAwareQuery, relevant_table: Table | None = None
-    ):
-        """Feature values for the query aligned to the train and valid rows."""
+    def _resolve_engine(
+        self, relevant_table: Table | None, engine: QueryEngine | None
+    ) -> QueryEngine:
+        """The query engine to execute against, shared per relevant table.
+
+        Engines are keyed by table identity, so evaluating against a held-out
+        relevant table never reuses masks or indexes computed on another one.
+        """
         relevant = relevant_table if relevant_table is not None else self.relevant_table
         if relevant is None:
+            if engine is not None:
+                return engine
             raise ValueError("No relevant table available to execute the query against")
-        feature_table = execute_query(query, relevant)
-        train_aug = augment_training_table(
-            self._train_table, feature_table, query.keys, query.feature_name, "__candidate__"
+        if engine is None and self._engine is not None and self._engine.table is relevant:
+            return self._engine
+        return resolve_engine(relevant, engine)
+
+    def feature_vectors_for_query(
+        self,
+        query: PredicateAwareQuery,
+        relevant_table: Table | None = None,
+        engine: QueryEngine | None = None,
+    ):
+        """Feature values for the query aligned to the train and valid rows."""
+        train_vecs, valid_vecs = self.feature_vectors_for_queries(
+            [query], relevant_table, engine=engine
         )
-        valid_aug = augment_training_table(
-            self._valid_table, feature_table, query.keys, query.feature_name, "__candidate__"
-        )
-        return train_aug.column("__candidate__").values, valid_aug.column("__candidate__").values
+        return train_vecs[0], valid_vecs[0]
+
+    def feature_vectors_for_queries(
+        self,
+        queries: Sequence[PredicateAwareQuery],
+        relevant_table: Table | None = None,
+        engine: QueryEngine | None = None,
+    ):
+        """Batched variant: one engine pass, then per-query train/valid joins."""
+        resolved = self._resolve_engine(relevant_table, engine)
+        feature_tables = resolved.execute_batch(list(queries))
+        train_vecs: List[np.ndarray] = []
+        valid_vecs: List[np.ndarray] = []
+        for query, feature_table in zip(queries, feature_tables):
+            train_aug = augment_training_table(
+                self._train_table, feature_table, query.keys, query.feature_name, "__candidate__"
+            )
+            valid_aug = augment_training_table(
+                self._valid_table, feature_table, query.keys, query.feature_name, "__candidate__"
+            )
+            train_vecs.append(train_aug.column("__candidate__").values)
+            valid_vecs.append(valid_aug.column("__candidate__").values)
+        return train_vecs, valid_vecs
 
     # ------------------------------------------------------------------
     # Scoring
@@ -115,24 +154,27 @@ class ModelEvaluator:
         return self._score(model, X_valid)
 
     def evaluate_queries(
-        self, queries: Sequence[PredicateAwareQuery], relevant_table: Table | None = None
+        self,
+        queries: Sequence[PredicateAwareQuery],
+        relevant_table: Table | None = None,
+        engine: QueryEngine | None = None,
     ) -> EvaluationResult:
         """Evaluate the model with every query's feature added at once."""
-        extra_train_cols: List[np.ndarray] = []
-        extra_valid_cols: List[np.ndarray] = []
-        for query in queries:
-            train_vec, valid_vec = self.feature_vectors_for_query(query, relevant_table)
-            extra_train_cols.append(train_vec)
-            extra_valid_cols.append(valid_vec)
+        extra_train_cols, extra_valid_cols = self.feature_vectors_for_queries(
+            list(queries), relevant_table, engine=engine
+        )
         extra_train = np.column_stack(extra_train_cols) if extra_train_cols else None
         extra_valid = np.column_stack(extra_valid_cols) if extra_valid_cols else None
         return self.evaluate_matrix(extra_train, extra_valid)
 
     def evaluate_query(
-        self, query: PredicateAwareQuery, relevant_table: Table | None = None
+        self,
+        query: PredicateAwareQuery,
+        relevant_table: Table | None = None,
+        engine: QueryEngine | None = None,
     ) -> EvaluationResult:
         """Evaluate the model with a single query's feature added."""
-        return self.evaluate_queries([query], relevant_table)
+        return self.evaluate_queries([query], relevant_table, engine=engine)
 
     def evaluate_baseline(self) -> EvaluationResult:
         """Evaluate the model on the base features alone (no augmentation)."""

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Dict, List, Sequence
 
 from repro.core.config import FeatAugConfig
 from repro.core.evaluation import ModelEvaluator
@@ -31,6 +31,7 @@ from repro.ml.base import BaseEstimator
 from repro.ml.model_zoo import make_model
 from repro.ml.preprocessing import train_valid_test_split
 from repro.query.augment import apply_queries, generated_feature_names
+from repro.query.engine import engine_for
 from repro.query.query import PredicateAwareQuery
 from repro.query.template import QueryTemplate
 
@@ -48,13 +49,21 @@ class FeatAugResult:
     qti_seconds: float = 0.0
     warmup_seconds: float = 0.0
     generate_seconds: float = 0.0
+    #: Cache/timing counters of the shared query engine at the end of the run.
+    engine_stats: Dict[str, float] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
         return self.qti_seconds + self.warmup_seconds + self.generate_seconds
 
     def apply(self, table: Table) -> Table:
-        """Materialise the selected queries as features on another table."""
+        """Materialise the selected queries as features on another table.
+
+        Execution resolves the query engine from ``self.relevant_table``:
+        engines are bound to one table by identity, so applying against a
+        different (held-out) relevant table can never reuse stale masks from
+        the training-time search.
+        """
         return apply_queries(
             table, self.relevant_table, [g.query for g in self.queries], prefix=self.feature_prefix
         )
@@ -86,7 +95,9 @@ class FeatAug:
             self.model = model
 
     # ------------------------------------------------------------------
-    def _build_evaluator(self, train_table: Table, relevant_table: Table) -> ModelEvaluator:
+    def _build_evaluator(
+        self, train_table: Table, relevant_table: Table, engine=None
+    ) -> ModelEvaluator:
         fit_fraction = 1.0 - self.config.validation_fraction
         fit_table, valid_table, _ = train_valid_test_split(
             train_table, ratios=(fit_fraction, self.config.validation_fraction, 0.0), seed=self.config.seed
@@ -102,6 +113,7 @@ class FeatAug:
             model=self.model,
             task=self.task,
             relevant_table=relevant_table,
+            engine=engine,
         )
 
     # ------------------------------------------------------------------
@@ -138,7 +150,14 @@ class FeatAug:
             ``n_templates * queries_per_template``.
         """
         proxy = make_proxy(self.config.proxy)
-        evaluator = self._build_evaluator(train_table, relevant_table)
+        # One shared execution engine for the whole run: template search, SQL
+        # generation and final materialisation all hit the same group index
+        # and predicate-mask cache.
+        engine = engine_for(relevant_table)
+        # Engines are shared per table across runs; report this run's traffic
+        # only, not the engine's lifetime counters.
+        stats_baseline = engine.stats.as_dict()
+        evaluator = self._build_evaluator(train_table, relevant_table, engine=engine)
         agg_attrs = list(agg_attrs) if agg_attrs else self._default_agg_attrs(relevant_table)
 
         templates: List[TemplateScore] = []
@@ -160,6 +179,7 @@ class FeatAug:
                 agg_funcs=agg_funcs,
                 config=self.config,
                 proxy=proxy,
+                engine=engine,
             )
             start = time.perf_counter()
             templates = identifier.identify(candidate_attrs, n_templates=self.config.n_templates)
@@ -179,6 +199,7 @@ class FeatAug:
                 config=self.config,
                 proxy=proxy,
                 seed=self.config.seed + 101 * (i + 1),
+                engine=engine,
             )
             generated.extend(generator.generate(n_queries=queries_per_template))
             warmup_seconds += generator.report.warmup_seconds
@@ -195,7 +216,9 @@ class FeatAug:
             helpful = generated[:1]
         generated = helpful[:n_features]
         queries = [g.query for g in generated]
-        augmented = apply_queries(train_table, relevant_table, queries, prefix=feature_prefix)
+        augmented = apply_queries(
+            train_table, relevant_table, queries, prefix=feature_prefix, engine=engine
+        )
         return FeatAugResult(
             queries=generated,
             templates=templates,
@@ -206,6 +229,7 @@ class FeatAug:
             qti_seconds=qti_seconds,
             warmup_seconds=warmup_seconds,
             generate_seconds=generate_seconds,
+            engine_stats=engine.stats.delta_since(stats_baseline),
         )
 
     # ------------------------------------------------------------------

@@ -32,6 +32,7 @@ from repro.dataframe.table import Table
 from repro.hpo.random_search import RandomSearchOptimizer
 from repro.hpo.tpe import TPEOptimizer
 from repro.hpo.trial import Trial
+from repro.query.engine import QueryEngine, resolve_engine
 from repro.query.pool import QueryPool
 from repro.query.query import PredicateAwareQuery
 from repro.query.template import QueryTemplate
@@ -69,6 +70,7 @@ class SQLQueryGenerator:
         config: FeatAugConfig | None = None,
         proxy: Proxy | None = None,
         seed: int | None = None,
+        engine: QueryEngine | None = None,
     ):
         self.config = config or FeatAugConfig()
         self.config.validate()
@@ -79,6 +81,10 @@ class SQLQueryGenerator:
         self.seed = self.config.seed if seed is None else seed
         self.pool = QueryPool(template, relevant_table)
         self.report = GenerationReport()
+        # The shared execution engine: every candidate query of this search
+        # (and of every other component touching the same relevant table)
+        # reuses one group index and predicate-mask cache.
+        self.engine = resolve_engine(relevant_table, engine)
 
     # ------------------------------------------------------------------
     # Objectives
@@ -86,7 +92,9 @@ class SQLQueryGenerator:
     def _proxy_objective(self, params: Dict[str, object]) -> float:
         """Negative proxy score of the decoded query (TPE minimises)."""
         query = self.pool.decode(params)
-        train_vec, _ = self.evaluator.feature_vectors_for_query(query, self.relevant_table)
+        train_vec, _ = self.evaluator.feature_vectors_for_query(
+            query, self.relevant_table, engine=self.engine
+        )
         score = self.proxy.score(train_vec, self.evaluator.y_train, self.evaluator.task)
         self.report.n_proxy_evaluations += 1
         return -score
@@ -94,7 +102,7 @@ class SQLQueryGenerator:
     def _model_objective(self, params: Dict[str, object]) -> float:
         """Real validation loss of the decoded query."""
         query = self.pool.decode(params)
-        result = self.evaluator.evaluate_query(query, self.relevant_table)
+        result = self.evaluator.evaluate_query(query, self.relevant_table, engine=self.engine)
         self.report.n_model_evaluations += 1
         return result.loss
 

@@ -28,6 +28,7 @@ from repro.core.predictor import TemplatePerformancePredictor
 from repro.core.proxies import Proxy, make_proxy
 from repro.core.sql_generation import SQLQueryGenerator
 from repro.dataframe.table import Table
+from repro.query.engine import QueryEngine, resolve_engine
 from repro.query.template import QueryTemplate
 
 
@@ -48,6 +49,9 @@ class IdentificationReport:
     n_evaluated_templates: int = 0
     n_predicted_templates: int = 0
     evaluated: List[TemplateScore] = field(default_factory=list)
+    #: Snapshot of the shared query engine's cache/timing counters at the end
+    #: of the run (mask hit rate, group-index reuse, ...) for Fig. 5.
+    engine_stats: Dict[str, float] = field(default_factory=dict)
 
 
 class QueryTemplateIdentifier:
@@ -62,6 +66,7 @@ class QueryTemplateIdentifier:
         agg_funcs: Sequence[str] | None = None,
         config: FeatAugConfig | None = None,
         proxy: Proxy | None = None,
+        engine: QueryEngine | None = None,
     ):
         self.config = config or FeatAugConfig()
         self.config.validate()
@@ -72,6 +77,10 @@ class QueryTemplateIdentifier:
         self.agg_funcs = list(agg_funcs) if agg_funcs else None
         self.proxy = proxy or make_proxy(self.config.proxy)
         self.report = IdentificationReport()
+        # One shared execution engine across every template's query pool: the
+        # beam search executes thousands of queries against the same table,
+        # all reusing the same group index and predicate-mask cache.
+        self.engine = resolve_engine(relevant_table, engine)
 
     # ------------------------------------------------------------------
     def _make_template(self, predicate_attrs: Sequence[str]) -> QueryTemplate:
@@ -86,6 +95,7 @@ class QueryTemplateIdentifier:
             config=self.config,
             proxy=self.proxy,
             seed=self.config.seed + len(self.report.evaluated),
+            engine=self.engine,
         )
         if self.config.use_low_cost_proxy:
             return generator.best_proxy_score()
@@ -100,6 +110,7 @@ class QueryTemplateIdentifier:
             raise ValueError("Query template identification needs at least one candidate attribute")
 
         start = time.perf_counter()
+        stats_baseline = self.engine.stats.as_dict()
         predictor = TemplatePerformancePredictor(candidate_attrs)
         evaluated: Dict[Tuple[str, ...], TemplateScore] = {}
 
@@ -152,6 +163,7 @@ class QueryTemplateIdentifier:
 
         self.report.seconds = time.perf_counter() - start
         self.report.n_evaluated_templates = len(evaluated)
+        self.report.engine_stats = self.engine.stats.delta_since(stats_baseline)
 
         ordered = sorted(evaluated.values(), key=lambda record: -record.score)
         return ordered[:n_templates]
@@ -167,6 +179,7 @@ class QueryTemplateIdentifier:
 
         n_templates = n_templates or self.config.n_templates
         start = time.perf_counter()
+        stats_baseline = self.engine.stats.as_dict()
         records: List[TemplateScore] = []
         for combo in enumerate_attribute_combinations(candidate_attrs, max_size=max_size):
             template = self._make_template(combo)
@@ -175,5 +188,6 @@ class QueryTemplateIdentifier:
         self.report.seconds = time.perf_counter() - start
         self.report.n_evaluated_templates = len(records)
         self.report.evaluated.extend(records)
+        self.report.engine_stats = self.engine.stats.delta_since(stats_baseline)
         records.sort(key=lambda record: -record.score)
         return records[:n_templates]

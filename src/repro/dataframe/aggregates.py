@@ -155,18 +155,23 @@ def normalise_aggregate_name(name: str) -> str:
     return name.strip().upper().replace(" ", "_")
 
 
-def column_to_aggregable(column: Column) -> np.ndarray:
+def column_to_aggregable(column: Column, rows=None) -> np.ndarray:
     """Convert a column to a float array suitable for aggregation.
 
     Numeric-like columns are used as-is.  Categorical columns are converted
     to stable integer codes so COUNT / COUNT_DISTINCT / ENTROPY / MODE remain
-    meaningful.
+    meaningful.  When *rows* is given (an ascending array of row positions),
+    codes are assigned by first appearance over those rows only -- exactly
+    what this function would produce on the filtered table -- scattered into
+    a full-length array (other positions stay NaN).
     """
     if column.is_numeric_like:
         return column.values
     codes = np.full(len(column), np.nan, dtype=np.float64)
     mapping: Dict[object, int] = {}
-    for i, v in enumerate(column.values):
+    values = column.values
+    for i in range(len(column)) if rows is None else rows:
+        v = values[i]
         if v is None:
             continue
         if v not in mapping:

@@ -8,7 +8,7 @@ attribute, producing a one-row-per-key feature table.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -21,23 +21,114 @@ from repro.dataframe.column import Column, DType
 from repro.dataframe.table import Table
 
 
-def group_indices(table: Table, keys: Sequence[str]) -> Dict[tuple, np.ndarray]:
-    """Map each distinct key tuple to the integer row positions in its group."""
+def factorize_column(column: Column) -> Tuple[np.ndarray, List]:
+    """Factorize one column into integer codes plus the label of each code.
+
+    Returns ``(codes, labels)`` where ``codes`` holds one ``int64`` code per
+    row and ``labels[code]`` is the normalised key value: ``float`` for
+    numeric-like columns, the raw value for categoricals, and ``None`` for
+    missing entries (NaN / None), matching the key normalisation of the
+    row-at-a-time grouping this replaces.
+    """
+    if column.is_numeric_like:
+        values = column.values
+        missing = np.isnan(values)
+        uniques = np.unique(values[~missing])
+        codes = np.searchsorted(uniques, values).astype(np.int64)
+        labels: List = [float(v) for v in uniques]
+        if missing.any():
+            codes[missing] = uniques.size
+            labels.append(None)
+        return codes, labels
+    values = column.values
+    missing = np.asarray([v is None for v in values], dtype=bool)
+    try:
+        uniques, inverse = np.unique(values[~missing], return_inverse=True)
+    except TypeError:
+        # Values of mixed, mutually unorderable types: dictionary coding.
+        mapping: Dict[object, int] = {}
+        codes = np.empty(len(values), dtype=np.int64)
+        labels = []
+        for i, v in enumerate(values):
+            key = None if v is None else v
+            if key not in mapping:
+                mapping[key] = len(labels)
+                labels.append(key)
+            codes[i] = mapping[key]
+        return codes, labels
+    codes = np.empty(len(values), dtype=np.int64)
+    codes[~missing] = inverse
+    labels = list(uniques)
+    if missing.any():
+        codes[missing] = uniques.size
+        labels.append(None)
+    return codes, labels
+
+
+def renumber_codes_by_first_appearance(
+    codes: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, List[np.ndarray], np.ndarray]:
+    """Group an integer array, numbering groups by first appearance.
+
+    Returns ``(ordered_values, group_codes, group_positions, first_positions)``:
+    the distinct input values in first-appearance order, the re-numbered group
+    id per position, the ascending positions of every group, and each group's
+    first position.  ``np.unique`` orders groups by value; re-numbering them by
+    first appearance is what makes vectorized grouping element-wise identical
+    to the historical row-at-a-time dictionary implementation.
+    """
+    n = codes.shape[0]
+    uniques, inverse = np.unique(codes, return_inverse=True)
+    n_groups = uniques.size
+    first = np.full(n_groups, n, dtype=np.int64)
+    np.minimum.at(first, inverse, np.arange(n, dtype=np.int64))
+    order = np.argsort(first, kind="stable")
+    remap = np.empty(n_groups, dtype=np.int64)
+    remap[order] = np.arange(n_groups, dtype=np.int64)
+    group_codes = remap[inverse]
+    counts = np.bincount(group_codes, minlength=n_groups)
+    positions = np.argsort(group_codes, kind="stable")
+    group_positions = np.split(positions, np.cumsum(counts)[:-1])
+    return uniques[order], group_codes, group_positions, first[order]
+
+
+def factorize_key_codes(
+    table: Table, keys: Sequence[str]
+) -> Tuple[np.ndarray, List[tuple], List[np.ndarray]]:
+    """Vectorized multi-column grouping.
+
+    Returns ``(group_codes, group_keys, group_rows)``: one group code per row,
+    the normalised key tuple of every group and the ascending row positions of
+    every group.  Group ids are assigned in order of first appearance, so the
+    grouping is element-wise identical to the historical row-at-a-time
+    dictionary implementation.
+    """
     if not keys:
         raise ValueError("group_indices needs at least one key column")
-    key_columns = [table.column(k) for k in keys]
-    buckets: Dict[tuple, List[int]] = {}
     n = table.num_rows
-    normalised = []
-    for col in key_columns:
-        if col.is_numeric_like:
-            normalised.append([None if np.isnan(v) else float(v) for v in col.values])
-        else:
-            normalised.append(list(col.values))
-    for i in range(n):
-        key = tuple(values[i] for values in normalised)
-        buckets.setdefault(key, []).append(i)
-    return {k: np.asarray(v, dtype=np.int64) for k, v in buckets.items()}
+    if n == 0:
+        return np.empty(0, dtype=np.int64), [], []
+    per_key = [factorize_column(table.column(k)) for k in keys]
+
+    combined = per_key[0][0]
+    for codes, labels in per_key[1:]:
+        # Compact after every merge so the combined ids stay < num_rows and
+        # the multiply below can never overflow int64.
+        combined = combined * np.int64(max(len(labels), 1)) + codes
+        _, combined = np.unique(combined, return_inverse=True)
+
+    _, group_codes, group_rows, representatives = renumber_codes_by_first_appearance(combined)
+    group_keys = [
+        tuple(labels[codes[row]] for codes, labels in per_key)
+        for row in representatives
+    ]
+    return group_codes, group_keys, group_rows
+
+
+def group_indices(table: Table, keys: Sequence[str]) -> Dict[tuple, np.ndarray]:
+    """Map each distinct key tuple to the integer row positions in its group."""
+    _, group_keys, group_rows = factorize_key_codes(table, keys)
+    return {key: np.asarray(rows, dtype=np.int64) for key, rows in zip(group_keys, group_rows)}
 
 
 def group_by_aggregate(

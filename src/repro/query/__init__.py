@@ -7,27 +7,43 @@ Implements the paper's core abstractions (Section III):
   pool, with its vector encoding (Section V.A).
 * :class:`QueryPool` -- builds the HPO search space for a template against a
   concrete relevant table and converts points back into executable queries.
+* :class:`QueryEngine` -- the batched execution engine bound to one relevant
+  table: factorized group index, LRU predicate-mask / result caches and a
+  batched API with cache statistics (:class:`EngineStats`).
 * :func:`execute_query` / :func:`augment_training_table` -- the relational
   plumbing (filter -> group-by aggregate -> left join onto the training
-  table).
+  table); :func:`execute_query_naive` is the uncached reference
+  implementation the equivalence suite checks the engine against.
 """
 
 from repro.query.template import QueryTemplate, enumerate_attribute_combinations
 from repro.query.query import PredicateAwareQuery
 from repro.query.pool import QueryPool
-from repro.query.executor import execute_query
+from repro.query.engine import EngineStats, QueryEngine, engine_for, resolve_engine
+from repro.query.executor import execute_query, execute_query_naive
 from repro.query.augment import augment_training_table, apply_queries
-from repro.query.multi_table import RelationalSchema, Relationship, flatten_relevant_tables
+from repro.query.multi_table import (
+    RelationalSchema,
+    Relationship,
+    flatten_relevant_tables,
+    flatten_to_engine,
+)
 
 __all__ = [
     "QueryTemplate",
     "enumerate_attribute_combinations",
     "PredicateAwareQuery",
     "QueryPool",
+    "QueryEngine",
+    "EngineStats",
+    "engine_for",
+    "resolve_engine",
     "execute_query",
+    "execute_query_naive",
     "augment_training_table",
     "apply_queries",
     "RelationalSchema",
     "Relationship",
     "flatten_relevant_tables",
+    "flatten_to_engine",
 ]

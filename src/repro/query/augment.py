@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from repro.dataframe.table import Table
-from repro.query.executor import execute_query
+from repro.query.engine import QueryEngine, resolve_engine
 from repro.query.query import PredicateAwareQuery
 
 
@@ -32,16 +32,22 @@ def apply_queries(
     relevant_table: Table,
     queries: Sequence[PredicateAwareQuery],
     prefix: str = "feataug",
+    engine: QueryEngine | None = None,
 ) -> Table:
     """Execute every query and append one feature column per query.
 
     Columns are named ``{prefix}_{i}``; this is how the final augmented
     training table ``D^{q1..qn}`` is materialised once the search has picked
-    its queries.
+    its queries.  Execution goes through the shared
+    :class:`~repro.query.engine.QueryEngine` for *relevant_table* as one
+    batch, so queries sharing WHERE atoms or keys reuse masks and indexes.
     """
+    queries = list(queries)
+    if not queries:
+        return training_table
+    feature_tables = resolve_engine(relevant_table, engine).execute_batch(queries)
     augmented = training_table
-    for i, query in enumerate(queries):
-        feature_table = execute_query(query, relevant_table)
+    for i, (query, feature_table) in enumerate(zip(queries, feature_tables)):
         augmented = augment_training_table(
             augmented,
             feature_table,

@@ -1,0 +1,554 @@
+"""Batched query-execution engine with a shared group index and mask caching.
+
+The Query Template Identification and SQL generation searches execute hundreds
+to thousands of candidate queries against the *same* relevant table with the
+*same* foreign keys.  Re-deriving everything per query (hash the key column,
+re-scan every WHERE predicate) wastes almost all of that work, so a
+:class:`QueryEngine` is bound to one relevant table and
+
+* computes a **factorized group index once** per key combination (vectorized
+  key codes via ``np.unique`` in :func:`repro.dataframe.groupby.factorize_key_codes`),
+* keeps an LRU **predicate-mask cache** keyed by predicate-atom signature so
+  queries sharing WHERE atoms reuse boolean masks and conjunctions compose
+  with ``&`` instead of re-scanning the table,
+* keeps a small LRU **result cache** keyed by query signature (TPE frequently
+  re-samples identical queries),
+* offers a **batched API** :meth:`QueryEngine.execute_batch` that groups
+  queries by (predicate signature, keys) and evaluates all aggregation
+  functions over each filtered grouping in one pass, and
+* exposes cache / timing statistics (:class:`EngineStats`) consumed by the
+  Figure 5 benchmarks.
+
+The engine is an optimisation layer only: its results are element-wise
+identical to the naive filter -> group-by path
+(:func:`repro.query.executor.execute_query_naive`), which the equivalence
+suite in ``tests/query/test_engine_equivalence.py`` enforces.
+"""
+
+from __future__ import annotations
+
+import time
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dataframe.aggregates import (
+    AGGREGATE_FUNCTIONS,
+    column_to_aggregable,
+    normalise_aggregate_name,
+)
+from repro.dataframe.column import Column, DType
+from repro.dataframe.groupby import factorize_key_codes, renumber_codes_by_first_appearance
+from repro.dataframe.predicates import Equals, Predicate, Range
+from repro.dataframe.table import Table
+from repro.query.query import PredicateAwareQuery
+
+#: Default bound on the number of cached predicate masks per engine.
+DEFAULT_MASK_CACHE_SIZE = 256
+
+#: Default bound on the number of cached query results per engine.
+DEFAULT_RESULT_CACHE_SIZE = 128
+
+
+@dataclass
+class EngineStats:
+    """Counters and wall-clock totals exposed for the Fig. 5 benchmarks."""
+
+    queries: int = 0
+    batches: int = 0
+    batched_queries: int = 0
+    empty_results: int = 0
+    mask_hits: int = 0
+    mask_misses: int = 0
+    mask_evictions: int = 0
+    result_hits: int = 0
+    result_misses: int = 0
+    group_index_builds: int = 0
+    group_index_reuses: int = 0
+    seconds_masking: float = 0.0
+    seconds_indexing: float = 0.0
+    seconds_grouping: float = 0.0
+    seconds_aggregating: float = 0.0
+
+    @property
+    def mask_hit_rate(self) -> float:
+        total = self.mask_hits + self.mask_misses
+        return self.mask_hits / total if total else 0.0
+
+    @property
+    def result_hit_rate(self) -> float:
+        total = self.result_hits + self.result_misses
+        return self.result_hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        out = dict(self.__dict__)
+        out["mask_hit_rate"] = self.mask_hit_rate
+        out["result_hit_rate"] = self.result_hit_rate
+        return out
+
+    def reset(self) -> None:
+        for name, value in EngineStats().__dict__.items():
+            setattr(self, name, value)
+
+    def delta_since(self, baseline: Dict[str, float]) -> Dict[str, float]:
+        """Counters accumulated since *baseline* (an earlier ``as_dict()``).
+
+        Engines are shared per table, so per-run reports must subtract the
+        traffic of earlier runs; hit rates are recomputed from the deltas.
+        """
+        current = self.as_dict()
+        delta = {
+            name: current[name] - baseline.get(name, 0)
+            for name in current
+            if not name.endswith("_rate")
+        }
+        masks = delta["mask_hits"] + delta["mask_misses"]
+        delta["mask_hit_rate"] = delta["mask_hits"] / masks if masks else 0.0
+        results = delta["result_hits"] + delta["result_misses"]
+        delta["result_hit_rate"] = delta["result_hits"] / results if results else 0.0
+        return delta
+
+
+class _LRUCache:
+    """A tiny ordered-dict LRU used for masks and result tables."""
+
+    def __init__(self, maxsize: int):
+        self.maxsize = int(maxsize)
+        self._data: "OrderedDict[object, object]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def get(self, key):
+        value = self._data.get(key)
+        if value is not None:
+            self._data.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> int:
+        """Insert and return the number of entries evicted (0 or 1)."""
+        if key in self._data:
+            self._data.move_to_end(key)
+            self._data[key] = value
+            return 0
+        self._data[key] = value
+        if len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            return 1
+        return 0
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+class GroupIndex:
+    """The factorized grouping of one table by one key combination."""
+
+    def __init__(self, table: Table, keys: Sequence[str]):
+        self.keys = tuple(keys)
+        codes, group_keys, group_rows = factorize_key_codes(table, self.keys)
+        #: int64 group id per row of the table, in first-appearance order.
+        self.codes = codes
+        #: Ascending row positions of every group.
+        self.group_rows = group_rows
+        self.group_keys = group_keys
+        self.n_groups = len(group_rows)
+        # Per key column: the label of every group, pre-materialised in the
+        # representation the output table needs.
+        self._key_arrays: List[Tuple[str, DType, bool, np.ndarray]] = []
+        for position, name in enumerate(self.keys):
+            source = table.column(name)
+            labels = [key[position] for key in group_keys]
+            if source.is_numeric_like:
+                array = np.asarray(
+                    [np.nan if v is None else v for v in labels], dtype=np.float64
+                )
+            else:
+                array = np.empty(self.n_groups, dtype=object)
+                array[:] = labels
+            self._key_arrays.append((name, source.dtype, source.is_numeric_like, array))
+
+    def key_columns(self, group_ids: Optional[np.ndarray] = None) -> List[Column]:
+        """Output key columns for the given groups (all groups when ``None``)."""
+        columns = []
+        for name, dtype, _numeric, array in self._key_arrays:
+            data = array if group_ids is None else array[group_ids]
+            columns.append(Column(name, data, dtype=dtype))
+        return columns
+
+
+def _hashable(value) -> bool:
+    try:
+        hash(value)
+    except TypeError:
+        return False
+    return True
+
+
+class QueryEngine:
+    """Cached, batched execution of predicate-aware queries on one table."""
+
+    def __init__(
+        self,
+        table: Table,
+        mask_cache_size: int = DEFAULT_MASK_CACHE_SIZE,
+        result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
+        weak_table: bool = False,
+    ):
+        # Directly-constructed engines own a strong reference to their table.
+        # Registry engines (``engine_for``) hold only a weak one: the registry
+        # maps table -> engine, and a strong back-reference from the engine
+        # would keep every table ever touched alive for the process lifetime.
+        self._table_strong = None if weak_table else table
+        self._table_ref = weakref.ref(table)
+        self.stats = EngineStats()
+        self._indexes: Dict[Tuple[str, ...], GroupIndex] = {}
+        self._masks = _LRUCache(mask_cache_size)
+        self._results = _LRUCache(result_cache_size)
+        self._agg_arrays: Dict[str, np.ndarray] = {}
+
+    @property
+    def table(self) -> Table:
+        if self._table_strong is not None:
+            return self._table_strong
+        table = self._table_ref()
+        if table is None:
+            raise ReferenceError(
+                "The table this QueryEngine was bound to has been garbage-collected"
+            )
+        return table
+
+    # ------------------------------------------------------------------
+    # Shared derived state
+    # ------------------------------------------------------------------
+    def group_index(self, keys: Sequence[str]) -> GroupIndex:
+        """The (cached) factorized group index for one key combination."""
+        keys = tuple(keys)
+        index = self._indexes.get(keys)
+        if index is None:
+            start = time.perf_counter()
+            index = GroupIndex(self.table, keys)
+            self._indexes[keys] = index
+            self.stats.group_index_builds += 1
+            self.stats.seconds_indexing += time.perf_counter() - start
+        else:
+            self.stats.group_index_reuses += 1
+        return index
+
+    def _full_agg_values(self, attr: str) -> np.ndarray:
+        values = self._agg_arrays.get(attr)
+        if values is None:
+            values = column_to_aggregable(self.table.column(attr))
+            self._agg_arrays[attr] = values
+        return values
+
+    def _agg_values(self, attr: str, row_idx: Optional[np.ndarray]) -> np.ndarray:
+        """Aggregable values aligned to the full table for a filtered run.
+
+        Categorical attributes are coded by first appearance *within the
+        filter* (exactly what ``column_to_aggregable`` sees on the filtered
+        table in the naive path), so code-valued aggregates like MODE stay
+        element-wise identical.  Numeric-like attributes are mask-independent
+        and served from the per-attribute cache.
+        """
+        column = self.table.column(attr)
+        if column.is_numeric_like or row_idx is None:
+            return self._full_agg_values(attr)
+        return column_to_aggregable(column, rows=row_idx)
+
+    # ------------------------------------------------------------------
+    # Predicate handling
+    # ------------------------------------------------------------------
+    @staticmethod
+    def predicate_atoms(query: PredicateAwareQuery) -> List[Tuple[Optional[tuple], Predicate]]:
+        """The query's WHERE atoms as ``(signature, predicate)`` pairs.
+
+        Mirrors :meth:`PredicateAwareQuery.build_predicate`; the signature is
+        ``None`` when an atom's constants are unhashable (uncacheable).
+        """
+        atoms: List[Tuple[Optional[tuple], Predicate]] = []
+        for attr, constraint in query.predicates.items():
+            dtype = query.predicate_dtypes.get(attr, DType.CATEGORICAL)
+            if constraint is None:
+                continue
+            if dtype is DType.CATEGORICAL:
+                signature = ("eq", attr, constraint)
+                predicate: Predicate = Equals(attr, constraint)
+            else:
+                low, high = constraint
+                if low is None and high is None:
+                    continue
+                signature = ("range", attr, low, high)
+                predicate = Range(attr, low=low, high=high, dtype=dtype)
+            atoms.append((signature if _hashable(signature) else None, predicate))
+        return atoms
+
+    def predicate_signature(self, query: PredicateAwareQuery) -> Optional[tuple]:
+        """Hashable identity of the query's WHERE clause (``None`` = uncacheable).
+
+        An empty tuple means "no predicate" (every row qualifies).
+        """
+        signatures = []
+        for signature, _ in self.predicate_atoms(query):
+            if signature is None:
+                return None
+            signatures.append(signature)
+        return tuple(sorted(signatures, key=repr))
+
+    def _atom_mask(self, signature: Optional[tuple], predicate: Predicate) -> np.ndarray:
+        if signature is not None:
+            cached = self._masks.get(signature)
+            if cached is not None:
+                self.stats.mask_hits += 1
+                return cached
+        self.stats.mask_misses += 1
+        start = time.perf_counter()
+        mask = predicate.mask(self.table)
+        self.stats.seconds_masking += time.perf_counter() - start
+        if signature is not None:
+            self.stats.mask_evictions += self._masks.put(signature, mask)
+        return mask
+
+    def query_mask(self, query: PredicateAwareQuery) -> Optional[np.ndarray]:
+        """Boolean row mask of the query's WHERE clause (``None`` = all rows).
+
+        Atom masks come from the LRU cache; conjunctions are composed with
+        ``&``.  Cached masks are never mutated.
+        """
+        atoms = self.predicate_atoms(query)
+        if not atoms:
+            return None
+        mask: Optional[np.ndarray] = None
+        for signature, predicate in atoms:
+            atom = self._atom_mask(signature, predicate)
+            mask = atom if mask is None else mask & atom
+        return mask
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, query: PredicateAwareQuery) -> Table:
+        """Run one query; identical to the naive filter -> group-by path."""
+        key = self._result_key(query)
+        if key is not None:
+            cached = self._results.get(key)
+            if cached is not None:
+                self.stats.result_hits += 1
+                return cached
+        return self._execute_plan([query], batched=False)[0]
+
+    def execute_batch(self, queries: Sequence[PredicateAwareQuery]) -> List[Table]:
+        """Run many queries, sharing work between them.
+
+        Queries are grouped by (predicate signature, keys): each such plan
+        computes its mask and filtered grouping once, slices each aggregation
+        attribute once, and then evaluates every aggregation function over the
+        shared group slices.  Results come back in input order and are
+        element-wise identical to per-query execution.
+        """
+        queries = list(queries)
+        results: List[Optional[Table]] = [None] * len(queries)
+        plans: "OrderedDict[tuple, List[int]]" = OrderedDict()
+        for i, query in enumerate(queries):
+            signature = self.predicate_signature(query)
+            if signature is None:
+                results[i] = self.execute(query)  # uncacheable WHERE clause
+                continue
+            plans.setdefault((signature, tuple(query.keys)), []).append(i)
+
+        for (_, keys), positions in plans.items():
+            pending: List[int] = []
+            for i in positions:
+                key = self._result_key(queries[i])
+                cached = self._results.get(key) if key is not None else None
+                if cached is not None:
+                    self.stats.result_hits += 1
+                    results[i] = cached
+                else:
+                    pending.append(i)
+            if not pending:
+                continue
+            plan_results = self._execute_plan([queries[i] for i in pending], batched=True)
+            for i, result in zip(pending, plan_results):
+                results[i] = result
+        self.stats.batches += 1
+        return results  # type: ignore[return-value]
+
+    def _execute_plan(self, queries: Sequence[PredicateAwareQuery], batched: bool) -> List[Table]:
+        """Run queries sharing one (predicate, keys) plan.
+
+        The plan's mask, filtered grouping and per-attribute group slices are
+        computed once; every query then only pays its per-group aggregation
+        loop.  Results are written to the result cache but never read from it
+        (callers check the cache first).
+        """
+        first = queries[0]
+        index = self.group_index(first.keys)
+        mask = self.query_mask(first)
+        group_ids, group_rows, row_idx = self._filtered_groups(index, mask)
+        key_columns: Optional[List[Column]] = None
+        group_slices: Dict[str, List[np.ndarray]] = {}
+        results: List[Table] = []
+        for query in queries:
+            func = self._aggregate_function(query.agg_func)
+            self.table.column(query.agg_attr)  # KeyError for unknown attributes
+            if not group_rows:
+                result = self._empty_result(query)
+            else:
+                slices = group_slices.get(query.agg_attr)
+                if slices is None:
+                    values = self._agg_values(query.agg_attr, row_idx)
+                    slices = [values[rows] for rows in group_rows]
+                    group_slices[query.agg_attr] = slices
+                start = time.perf_counter()
+                feature = np.empty(len(slices), dtype=np.float64)
+                for g, chunk in enumerate(slices):
+                    feature[g] = func(chunk)
+                self.stats.seconds_aggregating += time.perf_counter() - start
+                if key_columns is None:
+                    key_columns = index.key_columns(group_ids)
+                result = Table(
+                    list(key_columns)
+                    + [Column(query.feature_name, feature, dtype=DType.NUMERIC)]
+                )
+            results.append(result)
+            self.stats.queries += 1
+            if batched:
+                self.stats.batched_queries += 1
+            key = self._result_key(query)
+            if key is not None:
+                self.stats.result_misses += 1
+                self._results.put(key, result)
+        return results
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _aggregate_function(name: str):
+        func_name = normalise_aggregate_name(name)
+        if func_name not in AGGREGATE_FUNCTIONS:
+            raise KeyError(f"Unknown aggregation function {name!r}")
+        return AGGREGATE_FUNCTIONS[func_name]
+
+    def _result_key(self, query: PredicateAwareQuery) -> Optional[tuple]:
+        # Built from the dtype-aware atom signatures, not query.signature():
+        # the latter omits predicate_dtypes, so an Equals and a Range over the
+        # same constants would collide and return each other's cached result.
+        predicate_sig = self.predicate_signature(query)
+        if predicate_sig is None:
+            return None
+        try:
+            key = (
+                normalise_aggregate_name(query.agg_func),
+                query.agg_attr,
+                tuple(query.keys),
+                predicate_sig,
+                query.feature_name,
+            )
+            hash(key)
+        except TypeError:
+            return None
+        return key
+
+    def _filtered_groups(self, index: GroupIndex, mask: Optional[np.ndarray]):
+        """Groups surviving *mask*: ``(group_ids, rows_per_group, row_idx)``.
+
+        Output groups are ordered by first appearance within the filtered
+        rows (what grouping the filtered table from scratch would produce);
+        each group's rows are ascending positions into the *full* table.
+        """
+        if mask is None:
+            return None, index.group_rows, None
+        start = time.perf_counter()
+        row_idx = np.flatnonzero(mask)
+        if row_idx.size == 0:
+            self.stats.seconds_grouping += time.perf_counter() - start
+            return np.empty(0, dtype=np.int64), [], row_idx
+        group_ids, _, group_positions, _ = renumber_codes_by_first_appearance(
+            index.codes[row_idx]
+        )
+        group_rows = [row_idx[positions] for positions in group_positions]
+        self.stats.seconds_grouping += time.perf_counter() - start
+        return group_ids, group_rows, row_idx
+
+    def _empty_result(self, query: PredicateAwareQuery) -> Table:
+        """The empty feature table, constructed directly (no full-table scan)."""
+        self.stats.empty_results += 1
+        columns: List[Column] = []
+        for name in query.keys:
+            source = self.table.column(name)
+            if source.is_numeric_like:
+                columns.append(Column(name, np.empty(0, dtype=np.float64), dtype=source.dtype))
+            else:
+                columns.append(Column(name, np.empty(0, dtype=object), dtype=DType.CATEGORICAL))
+        columns.append(Column(query.feature_name, np.empty(0, dtype=np.float64), dtype=DType.NUMERIC))
+        return Table(columns)
+
+    # ------------------------------------------------------------------
+    # Cache management
+    # ------------------------------------------------------------------
+    @property
+    def mask_cache_len(self) -> int:
+        return len(self._masks)
+
+    @property
+    def result_cache_len(self) -> int:
+        return len(self._results)
+
+    def clear_caches(self) -> None:
+        """Drop cached masks, results, indexes and aggregable arrays."""
+        self._masks.clear()
+        self._results.clear()
+        self._indexes.clear()
+        self._agg_arrays.clear()
+
+    def reset(self) -> None:
+        """Return the engine to a cold state: drop all caches, zero the stats.
+
+        Timing comparisons between pipeline variants sharing one table must
+        call this between variants, or later variants replay earlier traffic
+        straight out of the caches.
+        """
+        self.clear_caches()
+        self.stats.reset()
+
+
+#: Per-table shared engines, keyed by table identity.  The engine only holds
+#: a weak reference back to its table, so entries (engine, caches and all)
+#: disappear once the table is garbage-collected, and a held-out relevant
+#: table can never see masks or results computed against a different table.
+_ENGINE_REGISTRY: "weakref.WeakKeyDictionary[Table, QueryEngine]" = weakref.WeakKeyDictionary()
+
+
+def engine_for(table: Table) -> QueryEngine:
+    """The process-wide shared :class:`QueryEngine` bound to *table*.
+
+    Keyed by object identity: every distinct ``Table`` object gets its own
+    engine, and all call sites touching the same relevant table share one.
+    """
+    engine = _ENGINE_REGISTRY.get(table)
+    if engine is None:
+        engine = QueryEngine(table, weak_table=True)
+        _ENGINE_REGISTRY[table] = engine
+    return engine
+
+
+def resolve_engine(table: Table, engine: Optional[QueryEngine] = None) -> QueryEngine:
+    """*engine* if given (validated against *table*), else the shared engine.
+
+    Every component that optionally accepts an engine goes through this:
+    masks and group indexes must never be reused across tables, so a supplied
+    engine bound to a different table is an error, not a fallback.
+    """
+    if engine is None:
+        return engine_for(table)
+    if engine.table is not table:
+        raise ValueError("The supplied QueryEngine is bound to a different relevant table")
+    return engine

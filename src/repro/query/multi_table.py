@@ -186,3 +186,23 @@ def flatten_relevant_tables(
     if missing:
         raise KeyError(f"Foreign key column(s) {missing} are missing from the flattened table")
     return flattened
+
+
+def flatten_to_engine(
+    schema: RelationalSchema,
+    base: str,
+    keys: Sequence[str],
+    max_depth: int = 3,
+):
+    """Flatten *schema* and bind the shared query engine to the result.
+
+    Returns ``(relevant_table, engine)``.  Deep-layer scenarios execute the
+    same search traffic as the single-table case, so they want the same
+    shared :class:`~repro.query.engine.QueryEngine`; binding it right after
+    flattening lets every downstream component (template identification, SQL
+    generation, evaluation) reuse one group index and mask cache.
+    """
+    from repro.query.engine import engine_for
+
+    flattened = flatten_relevant_tables(schema, base, keys, max_depth=max_depth)
+    return flattened, engine_for(flattened)

@@ -1,0 +1,227 @@
+"""Cache behaviour of the query engine: hit/miss counters, LRU bounds, and
+that engines are strictly bound to one table (no stale masks across tables)."""
+
+import numpy as np
+import pytest
+
+from repro.core.feataug import FeatAugResult
+from repro.core.sql_generation import GeneratedQuery
+from repro.dataframe.column import Column, DType
+from repro.dataframe.table import Table
+from repro.query.engine import QueryEngine, engine_for
+from repro.query.executor import execute_query, execute_query_naive
+from repro.query.query import PredicateAwareQuery
+
+
+def make_relevant(seed: int) -> Table:
+    rng = np.random.default_rng(seed)
+    n = 60
+    return Table(
+        [
+            Column("key", rng.integers(0, 6, size=n).astype(np.float64), dtype=DType.NUMERIC),
+            Column(
+                "cat",
+                [str(v) for v in rng.choice(list("abcdef"), size=n)],
+                dtype=DType.CATEGORICAL,
+            ),
+            Column("val", rng.normal(size=n), dtype=DType.NUMERIC),
+        ]
+    )
+
+
+def query_with(value: str, agg_func: str = "SUM") -> PredicateAwareQuery:
+    return PredicateAwareQuery(
+        agg_func, "val", ("key",), {"cat": value}, {"cat": DType.CATEGORICAL}
+    )
+
+
+class TestMaskCache:
+    def test_shared_atom_hits(self):
+        engine = QueryEngine(make_relevant(0))
+        engine.execute(query_with("a", "SUM"))
+        assert (engine.stats.mask_misses, engine.stats.mask_hits) == (1, 0)
+        engine.execute(query_with("a", "AVG"))
+        assert (engine.stats.mask_misses, engine.stats.mask_hits) == (1, 1)
+        engine.execute(query_with("b", "SUM"))
+        assert (engine.stats.mask_misses, engine.stats.mask_hits) == (2, 1)
+
+    def test_conjunction_reuses_atom_masks(self):
+        engine = QueryEngine(make_relevant(0))
+        both = PredicateAwareQuery(
+            "SUM",
+            "val",
+            ("key",),
+            {"cat": "a", "val": (0.0, None)},
+            {"cat": DType.CATEGORICAL, "val": DType.NUMERIC},
+        )
+        engine.execute(both)
+        assert engine.stats.mask_misses == 2
+        # A query sharing only one atom still hits the cache for it.
+        engine.execute(query_with("a", "AVG"))
+        assert engine.stats.mask_misses == 2
+        assert engine.stats.mask_hits == 1
+
+    def test_lru_eviction_bound(self):
+        engine = QueryEngine(make_relevant(0), mask_cache_size=4)
+        for i in range(10):
+            engine.execute(query_with(f"value-{i}"))
+        assert engine.mask_cache_len <= 4
+        assert engine.stats.mask_evictions == 6
+        assert engine.stats.mask_misses == 10
+
+    def test_group_index_built_once_per_key_combination(self):
+        engine = QueryEngine(make_relevant(0))
+        for value in "abc":
+            engine.execute(query_with(value))
+        assert engine.stats.group_index_builds == 1
+        assert engine.stats.group_index_reuses == 2
+
+
+class TestResultCache:
+    def test_identical_query_served_from_cache(self):
+        engine = QueryEngine(make_relevant(0))
+        first = engine.execute(query_with("a"))
+        second = engine.execute(query_with("a"))
+        assert second is first
+        assert engine.stats.result_hits == 1
+        assert engine.stats.result_misses == 1
+
+    def test_result_cache_is_bounded(self):
+        engine = QueryEngine(make_relevant(0), result_cache_size=3)
+        for i in range(8):
+            engine.execute(query_with(f"value-{i}"))
+        assert engine.result_cache_len <= 3
+
+    def test_batch_reuses_cached_results(self):
+        engine = QueryEngine(make_relevant(0))
+        engine.execute(query_with("a", "SUM"))
+        results = engine.execute_batch([query_with("a", "SUM"), query_with("a", "AVG")])
+        assert engine.stats.result_hits == 1
+        for query, result in zip([query_with("a", "SUM"), query_with("a", "AVG")], results):
+            naive = execute_query_naive(query, engine.table)
+            assert result.column("feature") == naive.column("feature")
+
+    def test_result_key_distinguishes_predicate_dtypes(self):
+        """Same constants, different predicate dtype => different queries.
+
+        ``query.signature()`` omits ``predicate_dtypes``; the result cache
+        must not, or a Range query and an Equals query over the same tuple
+        would return each other's cached tables.
+        """
+        engine = QueryEngine(make_relevant(0))
+        range_query = PredicateAwareQuery(
+            "SUM", "val", ("key",), {"val": (-10.0, 10.0)}, {"val": DType.NUMERIC}
+        )
+        engine.execute(range_query)
+        equals_query = PredicateAwareQuery(
+            "SUM", "val", ("key",), {"val": (-10.0, 10.0)}  # dtype defaults to CATEGORICAL
+        )
+        assert range_query.signature() == equals_query.signature()
+        # The naive path raises for Equals(numeric, tuple); a cache collision
+        # would instead silently return the Range query's cached table.
+        with pytest.raises(TypeError):
+            execute_query_naive(equals_query, engine.table)
+        with pytest.raises(TypeError):
+            engine.execute(equals_query)
+        assert engine.stats.result_hits == 0
+
+    def test_clear_caches(self):
+        engine = QueryEngine(make_relevant(0))
+        engine.execute(query_with("a"))
+        engine.clear_caches()
+        assert engine.mask_cache_len == 0
+        assert engine.result_cache_len == 0
+        engine.execute(query_with("a"))
+        assert engine.stats.mask_misses == 2
+
+
+class TestRegistryAndStats:
+    def test_registry_does_not_keep_tables_alive(self):
+        import gc
+        import weakref
+
+        table = make_relevant(5)
+        ref = weakref.ref(table)
+        engine_for(table).execute(query_with("a"))
+        del table
+        gc.collect()
+        assert ref() is None
+
+    def test_weak_engine_raises_after_table_collected(self):
+        import gc
+
+        table = make_relevant(6)
+        engine = QueryEngine(table, weak_table=True)
+        del table
+        gc.collect()
+        with pytest.raises(ReferenceError):
+            engine.table
+
+    def test_direct_engine_keeps_its_table_alive(self):
+        engine = QueryEngine(make_relevant(6))  # temporary table: engine owns it
+        assert engine.execute(query_with("a")).num_rows >= 0
+
+    def test_stats_delta_since_reports_per_run_traffic(self):
+        engine = QueryEngine(make_relevant(0))
+        engine.execute(query_with("a"))
+        baseline = engine.stats.as_dict()
+        engine.execute(query_with("a"))  # result-cache hit
+        engine.execute(query_with("b"))
+        delta = engine.stats.delta_since(baseline)
+        assert delta["queries"] == 1
+        assert delta["result_hits"] == 1
+        assert delta["mask_misses"] == 1
+        assert delta["result_hit_rate"] == 0.5
+        # Lifetime counters keep accumulating regardless.
+        assert engine.stats.queries == 2
+
+
+class TestEngineTableBinding:
+    def test_engine_for_is_identity_keyed(self):
+        a, b = make_relevant(0), make_relevant(1)
+        assert engine_for(a) is engine_for(a)
+        assert engine_for(a) is not engine_for(b)
+
+    def test_execute_query_rejects_mismatched_engine(self):
+        a, b = make_relevant(0), make_relevant(1)
+        with pytest.raises(ValueError):
+            execute_query(query_with("a"), b, engine=QueryEngine(a))
+
+    def test_feataug_apply_does_not_reuse_training_masks(self, user_table):
+        """``FeatAugResult.apply`` against a held-out relevant table must hit
+        that table's own engine, not the training-time engine's stale masks."""
+        train_relevant = make_relevant(0)
+        held_out_relevant = make_relevant(99)
+        query = query_with("a", "SUM")
+        # Warm the training-time engine's mask and result caches.
+        training_engine = engine_for(train_relevant)
+        training_engine.execute(query)
+
+        train = Table(
+            [
+                Column("key", [0.0, 1.0, 2.0, 3.0], dtype=DType.NUMERIC),
+                Column("label", [0.0, 1.0, 0.0, 1.0], dtype=DType.NUMERIC),
+            ]
+        )
+        result = FeatAugResult(
+            queries=[GeneratedQuery(query=query, loss=0.0, metric=0.0)],
+            templates=[],
+            augmented_table=train,
+            feature_names=["feataug_0"],
+            relevant_table=held_out_relevant,
+        )
+        applied = result.apply(train)
+        expected = train.left_join(
+            execute_query_naive(query, held_out_relevant).rename({"feature": "feataug_0"}),
+            on=["key"],
+        )
+        got = applied.column("feataug_0")
+        want = expected.column("feataug_0")
+        assert got == want
+        # Sanity: the held-out values genuinely differ from the training-time
+        # table's, so a stale-mask bug could not slip through this assertion.
+        stale = train.left_join(
+            execute_query_naive(query, train_relevant).rename({"feature": "feataug_0"}),
+            on=["key"],
+        ).column("feataug_0")
+        assert got != stale

@@ -1,0 +1,231 @@
+"""Executor-equivalence suite: the engine's fast path vs the naive path.
+
+``QueryEngine.execute`` / ``execute_batch`` must produce tables element-wise
+identical (same columns, dtypes and values, NaN included) to
+``execute_query_naive`` for every query the search can generate: NaN keys,
+empty filter results, categorical aggregation attributes and all 15 aggregate
+functions.  The engine is an optimisation layer only -- this suite is what
+locks that in.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataframe.aggregates import AGGREGATE_FUNCTIONS
+from repro.dataframe.column import Column, DType
+from repro.dataframe.table import Table
+from repro.query.engine import QueryEngine
+from repro.query.executor import execute_query, execute_query_naive
+from repro.query.query import PredicateAwareQuery
+
+AGG_FUNCS = list(AGGREGATE_FUNCTIONS)
+PREDICATE_DTYPES = {"cat": DType.CATEGORICAL, "num": DType.NUMERIC}
+
+finite_floats = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False)
+
+
+def assert_tables_identical(actual: Table, expected: Table) -> None:
+    """Same column names/order, same dtypes, element-wise equal (NaN == NaN)."""
+    assert actual.column_names == expected.column_names
+    for name in expected.column_names:
+        left, right = actual.column(name), expected.column(name)
+        assert left.dtype is right.dtype, f"{name}: {left.dtype} != {right.dtype}"
+        assert left == right, f"column {name!r} differs"
+
+
+@st.composite
+def random_tables(draw):
+    """Small tables with NaN-bearing numeric/categorical keys and attributes."""
+    n = draw(st.integers(min_value=1, max_value=50))
+
+    def rows(strategy):
+        return draw(st.lists(strategy, min_size=n, max_size=n))
+
+    return Table(
+        [
+            Column(
+                "k_num",
+                rows(st.one_of(st.none(), st.sampled_from([1.0, 2.0, 3.0, 4.0]))),
+                dtype=DType.NUMERIC,
+            ),
+            Column(
+                "k_cat",
+                rows(st.sampled_from(["a", "b", "c", None])),
+                dtype=DType.CATEGORICAL,
+            ),
+            Column("cat", rows(st.sampled_from(["x", "y", "z", None])), dtype=DType.CATEGORICAL),
+            Column("num", rows(st.one_of(st.none(), finite_floats)), dtype=DType.NUMERIC),
+            Column("val", rows(st.one_of(st.none(), finite_floats)), dtype=DType.NUMERIC),
+        ]
+    )
+
+
+@st.composite
+def random_queries(draw):
+    keys = draw(st.sampled_from([("k_num",), ("k_cat",), ("k_num", "k_cat")]))
+    agg_func = draw(st.sampled_from(AGG_FUNCS))
+    # Include a categorical aggregation attribute: its integer coding depends
+    # on the filter, which is exactly the subtle case the engine must honour.
+    agg_attr = draw(st.sampled_from(["val", "num", "cat"]))
+    predicates = {}
+    if draw(st.booleans()):
+        # "q" never occurs, so empty filter results are generated regularly.
+        predicates["cat"] = draw(st.sampled_from(["x", "y", "q"]))
+    if draw(st.booleans()):
+        low = draw(st.one_of(st.none(), finite_floats))
+        high = draw(st.one_of(st.none(), finite_floats))
+        if low is not None and high is not None and low > high:
+            low, high = high, low
+        if low is not None or high is not None:
+            predicates["num"] = (low, high)
+    dtypes = {attr: PREDICATE_DTYPES[attr] for attr in predicates}
+    return PredicateAwareQuery(agg_func, agg_attr, keys, predicates, dtypes)
+
+
+class TestExecuteEquivalence:
+    @given(table=random_tables(), query=random_queries())
+    @settings(max_examples=60, deadline=None)
+    def test_engine_matches_naive(self, table, query):
+        engine = QueryEngine(table)
+        expected = execute_query_naive(query, table)
+        assert_tables_identical(engine.execute(query), expected)
+        # Second run is served from the result cache and must be identical too.
+        assert_tables_identical(engine.execute(query), expected)
+
+    @given(table=random_tables(), query=random_queries())
+    @settings(max_examples=30, deadline=None)
+    def test_compatibility_wrapper_matches_naive(self, table, query):
+        assert_tables_identical(
+            execute_query(query, table), execute_query_naive(query, table)
+        )
+
+    @given(table=random_tables(), queries=st.lists(random_queries(), min_size=1, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_batch_matches_naive(self, table, queries):
+        engine = QueryEngine(table)
+        results = engine.execute_batch(queries)
+        assert len(results) == len(queries)
+        for query, result in zip(queries, results):
+            assert_tables_identical(result, execute_query_naive(query, table))
+
+
+class TestAllAggregateFunctions:
+    @pytest.fixture
+    def table(self, rng):
+        n = 120
+        return Table(
+            [
+                Column(
+                    "key",
+                    [None if rng.random() < 0.15 else float(rng.integers(0, 6)) for _ in range(n)],
+                    dtype=DType.NUMERIC,
+                ),
+                Column(
+                    "cat",
+                    [None if rng.random() < 0.15 else str(rng.choice(list("uvw"))) for _ in range(n)],
+                    dtype=DType.CATEGORICAL,
+                ),
+                Column(
+                    "val",
+                    [float("nan") if rng.random() < 0.2 else float(rng.normal()) for _ in range(n)],
+                    dtype=DType.NUMERIC,
+                ),
+            ]
+        )
+
+    @pytest.mark.parametrize("agg_func", AGG_FUNCS)
+    def test_numeric_attribute(self, table, agg_func):
+        engine = QueryEngine(table)
+        query = PredicateAwareQuery(
+            agg_func, "val", ("key",), {"cat": "u"}, {"cat": DType.CATEGORICAL}
+        )
+        assert_tables_identical(engine.execute(query), execute_query_naive(query, table))
+
+    @pytest.mark.parametrize("agg_func", AGG_FUNCS)
+    def test_categorical_attribute_under_filter(self, table, agg_func):
+        """Filtered categorical coding (MODE returns codes!) must match."""
+        engine = QueryEngine(table)
+        query = PredicateAwareQuery(
+            agg_func, "cat", ("key",), {"val": (-0.4, 2.0)}, {"val": DType.NUMERIC}
+        )
+        assert_tables_identical(engine.execute(query), execute_query_naive(query, table))
+
+    @pytest.mark.parametrize("agg_func", AGG_FUNCS)
+    def test_batch_of_all_functions_shares_one_plan(self, table, agg_func):
+        engine = QueryEngine(table)
+        queries = [
+            PredicateAwareQuery(f, "val", ("key",), {"cat": "v"}, {"cat": DType.CATEGORICAL})
+            for f in AGG_FUNCS
+        ]
+        results = engine.execute_batch(queries)
+        target = AGG_FUNCS.index(agg_func)
+        assert_tables_identical(
+            results[target], execute_query_naive(queries[target], table)
+        )
+
+
+class TestEdgeCases:
+    def test_nan_keys_form_their_own_group(self):
+        table = Table(
+            [
+                Column("key", [1.0, float("nan"), 1.0, float("nan")], dtype=DType.NUMERIC),
+                Column("val", [1.0, 2.0, 3.0, 4.0], dtype=DType.NUMERIC),
+            ]
+        )
+        query = PredicateAwareQuery("SUM", "val", ("key",))
+        result = QueryEngine(table).execute(query)
+        assert_tables_identical(result, execute_query_naive(query, table))
+        assert result.num_rows == 2
+        assert np.isnan(result.column("key").values).sum() == 1
+
+    def test_empty_filter_result(self, logs_table):
+        query = PredicateAwareQuery(
+            "AVG",
+            "pprice",
+            ("cname",),
+            {"department": "does-not-exist"},
+            {"department": DType.CATEGORICAL},
+        )
+        engine = QueryEngine(logs_table)
+        result = engine.execute(query)
+        assert_tables_identical(result, execute_query_naive(query, logs_table))
+        assert result.num_rows == 0
+        assert result.column_names == ["cname", "feature"]
+        assert engine.stats.empty_results == 1
+
+    def test_empty_table(self):
+        table = Table(
+            [
+                Column("key", [], dtype=DType.NUMERIC),
+                Column("val", [], dtype=DType.NUMERIC),
+            ]
+        )
+        query = PredicateAwareQuery("COUNT", "val", ("key",))
+        assert_tables_identical(
+            QueryEngine(table).execute(query), execute_query_naive(query, table)
+        )
+
+    def test_datetime_and_multi_key(self, logs_table):
+        from repro.dataframe.column import parse_datetime
+
+        query = PredicateAwareQuery(
+            "MAX",
+            "pprice",
+            ("cname", "pname"),
+            {"timestamp": (parse_datetime("2023-05-01"), None)},
+            {"timestamp": DType.DATETIME},
+        )
+        assert_tables_identical(
+            QueryEngine(logs_table).execute(query), execute_query_naive(query, logs_table)
+        )
+
+    def test_unknown_aggregate_raises(self, logs_table):
+        query = PredicateAwareQuery("NOPE", "pprice", ("cname",))
+        with pytest.raises(KeyError):
+            QueryEngine(logs_table).execute(query)
+
+    def test_unknown_attribute_raises(self, logs_table):
+        query = PredicateAwareQuery("SUM", "missing", ("cname",))
+        with pytest.raises(KeyError):
+            QueryEngine(logs_table).execute(query)

@@ -4,8 +4,9 @@ import numpy as np
 import pytest
 
 from repro.dataframe.column import DType, parse_datetime
+from repro.dataframe.table import Table
 from repro.query.augment import apply_queries, augment_training_table, generated_feature_names
-from repro.query.executor import execute_query
+from repro.query.executor import execute_query, execute_query_naive
 from repro.query.query import PredicateAwareQuery
 
 
@@ -56,6 +57,50 @@ class TestExecuteQuery:
     def test_feature_column_is_numeric(self, logs_table):
         result = execute_query(paper_query(), logs_table)
         assert result.column("avgprice").dtype is DType.NUMERIC
+
+
+class TestEmptyFilterPath:
+    """Regression tests for the empty-filter fast path.
+
+    The naive executor used to materialise a second full-length all-False
+    mask just to build the empty result; it now constructs the empty
+    projection directly, so the full table is filtered exactly once.
+    """
+
+    def impossible_query(self):
+        return PredicateAwareQuery(
+            agg_func="SUM",
+            agg_attr="pprice",
+            keys=("cname",),
+            predicates={"department": "does-not-exist"},
+            predicate_dtypes={"department": DType.CATEGORICAL},
+        )
+
+    def test_naive_filters_the_table_only_once(self, logs_table, monkeypatch):
+        calls = []
+        original = Table.filter
+
+        def counting_filter(self, mask):
+            calls.append(len(self.column_names))
+            return original(self, mask)
+
+        monkeypatch.setattr(Table, "filter", counting_filter)
+        result = execute_query_naive(self.impossible_query(), logs_table)
+        assert result.num_rows == 0
+        assert len(calls) == 1
+
+    def test_empty_result_schema_and_dtypes(self, logs_table):
+        for executor in (execute_query, execute_query_naive):
+            result = executor(self.impossible_query(), logs_table)
+            assert result.num_rows == 0
+            assert result.column_names == ["cname", "feature"]
+            assert result.column("cname").dtype is DType.CATEGORICAL
+            assert result.column("feature").dtype is DType.NUMERIC
+
+    def test_naive_matches_paper_example(self, logs_table):
+        result = execute_query_naive(paper_query(), logs_table)
+        by_key = dict(zip(result.column("cname").values, result.column("avgprice").values))
+        assert by_key == {"alice": 250.0, "carol": 95.0}
 
 
 class TestAugment:

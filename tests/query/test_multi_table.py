@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.dataframe.table import Table
-from repro.query.multi_table import RelationalSchema, Relationship, flatten_relevant_tables
+from repro.query.multi_table import (
+    RelationalSchema,
+    Relationship,
+    flatten_relevant_tables,
+    flatten_to_engine,
+)
 
 
 @pytest.fixture
@@ -133,3 +138,20 @@ class TestFlattenRelevantTables:
         query = pool.sample_random(seed=0, n=1)[0]
         result = execute_query(query, flattened)
         assert "feature" in result
+
+    def test_flatten_to_engine_binds_shared_engine(self, instacart_like_schema):
+        from repro.query.engine import engine_for
+        from repro.query.executor import execute_query_naive
+        from repro.query.query import PredicateAwareQuery
+
+        flattened, engine = flatten_to_engine(
+            instacart_like_schema, "order_items", keys=["user_id"]
+        )
+        assert engine.table is flattened
+        assert engine_for(flattened) is engine
+        query = PredicateAwareQuery("SUM", "quantity", ("user_id",))
+        result = engine.execute(query)
+        expected = execute_query_naive(query, flattened)
+        assert result.column_names == expected.column_names
+        for name in expected.column_names:
+            assert result.column(name) == expected.column(name)
