@@ -53,7 +53,27 @@ def cold_engine(table) -> None:
     engine_for(table).reset()
 
 
-def write_result(name: str, text: str) -> None:
-    """Persist a printed result table under benchmarks/results/."""
+def write_result(name: str, text: str, append: bool = False) -> None:
+    """Persist a printed result table under benchmarks/results/.
+
+    ``append`` adds a section to an existing file instead of replacing it --
+    used when several benchmarks in one module contribute to one report.
+    A previously appended section with the same title line (the first line of
+    *text*) is replaced, so re-running one benchmark alone never duplicates
+    its section in the committed results file.
+    """
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    path = RESULTS_DIR / f"{name}.txt"
+    if append and path.exists():
+        # Sections are blank-line-separated blocks; drop only the block whose
+        # first line matches this section's title, keeping every other block.
+        title = text.splitlines()[0]
+        blocks = [
+            block
+            for block in path.read_text().split("\n\n")
+            if block.strip() and block.strip().splitlines()[0] != title
+        ]
+        blocks.append(text.rstrip("\n"))
+        path.write_text("\n\n".join(block.rstrip("\n") for block in blocks) + "\n")
+    else:
+        path.write_text(text + "\n")

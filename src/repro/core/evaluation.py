@@ -125,7 +125,13 @@ class ModelEvaluator:
         relevant_table: Table | None = None,
         engine: QueryEngine | None = None,
     ):
-        """Batched variant: one engine pass, then per-query train/valid joins."""
+        """Batched variant: one engine pass, then per-query train/valid joins.
+
+        Queries execute through the engine's vectorized grouped kernels, and
+        the feature joins go through the vectorized ``Table.left_join`` key
+        matching (factorized codes + first-occurrence index map), so neither
+        phase loops over rows in Python.
+        """
         resolved = self._resolve_engine(relevant_table, engine)
         feature_tables = resolved.execute_batch(list(queries))
         train_vecs: List[np.ndarray] = []

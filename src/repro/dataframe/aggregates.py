@@ -5,6 +5,16 @@ The paper's query templates use the following aggregation function set
 STD_SAMPLE, ENTROPY, KURTOSIS, MODE, MAD and MEDIAN.  Every function maps a
 (possibly empty) group of values to a single float.  Missing values are
 ignored; empty groups yield ``NaN`` (except COUNT variants which yield 0).
+
+Accumulation-order contract: every floating-point total in this module goes
+through :func:`_seq_sum` -- a strict left-to-right sum -- rather than
+``np.sum`` (pairwise association).  The vectorized grouped kernels
+(:mod:`repro.dataframe.grouped_kernels`) accumulate per group via
+``np.bincount``, which adds weights one at a time in row order, i.e. exactly
+a strict sequential sum per group.  Sharing that association order is what
+makes the kernels **bit-for-bit identical** to this per-group reference for
+all 15 aggregates, so switching the engine between kernel modes can never
+perturb a search trajectory by even an ulp.
 """
 
 from __future__ import annotations
@@ -21,9 +31,23 @@ def _clean(values: np.ndarray) -> np.ndarray:
     return values[~np.isnan(values)]
 
 
+def _seq_sum(values: np.ndarray) -> float:
+    """Strict left-to-right sum (the accumulation-order contract above).
+
+    ``np.bincount`` with a single zero-valued bin *is* a strict sequential
+    sum at vectorized speed, and is the same primitive the grouped kernels
+    total with -- guaranteeing bit-identical accumulation.
+    """
+    if not values.size:
+        return 0.0
+    return float(
+        np.bincount(np.zeros(values.size, dtype=np.intp), weights=values, minlength=1)[0]
+    )
+
+
 def agg_sum(values: np.ndarray) -> float:
     v = _clean(values)
-    return float(v.sum()) if v.size else float("nan")
+    return _seq_sum(v) if v.size else float("nan")
 
 
 def agg_min(values: np.ndarray) -> float:
@@ -42,7 +66,7 @@ def agg_count(values: np.ndarray) -> float:
 
 def agg_avg(values: np.ndarray) -> float:
     v = _clean(values)
-    return float(v.mean()) if v.size else float("nan")
+    return _seq_sum(v) / v.size if v.size else float("nan")
 
 
 def agg_count_distinct(values: np.ndarray) -> float:
@@ -50,24 +74,32 @@ def agg_count_distinct(values: np.ndarray) -> float:
     return float(np.unique(v).size)
 
 
+def _sum_squared_deviations(v: np.ndarray) -> float:
+    """Two-pass sum of squared deviations from the (sequential) mean."""
+    dev = v - _seq_sum(v) / v.size
+    return _seq_sum(dev * dev)
+
+
 def agg_var(values: np.ndarray) -> float:
     v = _clean(values)
-    return float(v.var()) if v.size else float("nan")
+    return _sum_squared_deviations(v) / v.size if v.size else float("nan")
 
 
 def agg_var_sample(values: np.ndarray) -> float:
     v = _clean(values)
-    return float(v.var(ddof=1)) if v.size > 1 else float("nan")
+    return _sum_squared_deviations(v) / (v.size - 1) if v.size > 1 else float("nan")
 
 
 def agg_std(values: np.ndarray) -> float:
     v = _clean(values)
-    return float(v.std()) if v.size else float("nan")
+    return float(np.sqrt(_sum_squared_deviations(v) / v.size)) if v.size else float("nan")
 
 
 def agg_std_sample(values: np.ndarray) -> float:
     v = _clean(values)
-    return float(v.std(ddof=1)) if v.size > 1 else float("nan")
+    if v.size < 2:
+        return float("nan")
+    return float(np.sqrt(_sum_squared_deviations(v) / (v.size - 1)))
 
 
 def agg_entropy(values: np.ndarray) -> float:
@@ -77,23 +109,48 @@ def agg_entropy(values: np.ndarray) -> float:
         return float("nan")
     _, counts = np.unique(v, return_counts=True)
     p = counts / counts.sum()
-    return float(-(p * np.log(p)).sum())
+    return _seq_sum(-(p * np.log(p)))
 
 
 def agg_kurtosis(values: np.ndarray) -> float:
-    """Excess kurtosis (Fisher definition)."""
+    """Excess kurtosis (Fisher definition, ``m4 / var**2 - 3``); 0.0 for
+    zero-variance groups.
+
+    Zero variance is decided on the *values* (``max == min``), not on the
+    computed variance: accumulated rounding in the mean can leave it a few
+    ulps above zero for a constant group (e.g. twelve copies of 19.99), and
+    branching on that noise would make the result depend on summation order.
+    """
     v = _clean(values)
     if v.size < 2:
         return float("nan")
-    std = v.std()
-    if std == 0:
+    if v.max() == v.min():
         return 0.0
-    m4 = ((v - v.mean()) ** 4).mean()
-    return float(m4 / std**4 - 3.0)
+    var = _sum_squared_deviations(v) / v.size
+    if var == 0:
+        return 0.0
+    dev = v - _seq_sum(v) / v.size
+    dev2 = dev * dev
+    m4 = _seq_sum(dev2 * dev2) / v.size
+    # IEEE semantics via numpy scalars: var**2 can underflow to 0 for
+    # subnormal-range values, and the result must then be NaN/inf (exactly
+    # what the vectorized kernel computes), not a ZeroDivisionError.
+    with np.errstate(invalid="ignore", divide="ignore"):
+        ratio = np.float64(m4) / (np.float64(var) * np.float64(var))
+    return float(ratio - 3.0)
 
 
 def agg_mode(values: np.ndarray) -> float:
-    """Most frequent value (ties broken by the smaller value)."""
+    """Most frequent value; ties break deterministically to the **smallest**.
+
+    ``np.unique`` returns the distinct values in ascending order and
+    ``np.argmax`` returns the *first* position of the maximum count, so among
+    equally frequent values the smallest one always wins.  This tie-breaking
+    rule is part of the aggregate's contract: the sort-based grouped kernel
+    (:meth:`repro.dataframe.grouped_kernels.GroupedAggregator.mode`) relies on
+    it to stay element-wise identical, and
+    ``tests/dataframe/test_aggregates.py`` pins it with regression tests.
+    """
     v = _clean(values)
     if not v.size:
         return float("nan")

@@ -65,6 +65,36 @@ def factorize_column(column: Column) -> Tuple[np.ndarray, List]:
     return codes, labels
 
 
+def renumber_codes_compact(
+    codes: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Re-number an integer array by first appearance, without materialising
+    per-group position lists.
+
+    Returns ``(ordered_values, group_codes, first_positions)``: the distinct
+    input values in first-appearance order, the re-numbered group id per
+    position, and each group's first position.  This is all the vectorized
+    grouped-aggregation kernels need; :func:`renumber_codes_by_first_appearance`
+    adds the per-group position lists the per-group Python path consumes.
+    """
+    n = codes.shape[0]
+    uniques, inverse = np.unique(codes, return_inverse=True)
+    n_groups = uniques.size
+    first = np.full(n_groups, n, dtype=np.int64)
+    np.minimum.at(first, inverse, np.arange(n, dtype=np.int64))
+    order = np.argsort(first, kind="stable")
+    remap = np.empty(n_groups, dtype=np.int64)
+    remap[order] = np.arange(n_groups, dtype=np.int64)
+    return uniques[order], remap[inverse], first[order]
+
+
+def group_positions_from_codes(group_codes: np.ndarray, n_groups: int) -> List[np.ndarray]:
+    """Ascending positions of every group id in ``[0, n_groups)``."""
+    counts = np.bincount(group_codes, minlength=n_groups)
+    positions = np.argsort(group_codes, kind="stable")
+    return np.split(positions, np.cumsum(counts)[:-1])
+
+
 def renumber_codes_by_first_appearance(
     codes: np.ndarray,
 ) -> Tuple[np.ndarray, np.ndarray, List[np.ndarray], np.ndarray]:
@@ -77,19 +107,9 @@ def renumber_codes_by_first_appearance(
     first appearance is what makes vectorized grouping element-wise identical
     to the historical row-at-a-time dictionary implementation.
     """
-    n = codes.shape[0]
-    uniques, inverse = np.unique(codes, return_inverse=True)
-    n_groups = uniques.size
-    first = np.full(n_groups, n, dtype=np.int64)
-    np.minimum.at(first, inverse, np.arange(n, dtype=np.int64))
-    order = np.argsort(first, kind="stable")
-    remap = np.empty(n_groups, dtype=np.int64)
-    remap[order] = np.arange(n_groups, dtype=np.int64)
-    group_codes = remap[inverse]
-    counts = np.bincount(group_codes, minlength=n_groups)
-    positions = np.argsort(group_codes, kind="stable")
-    group_positions = np.split(positions, np.cumsum(counts)[:-1])
-    return uniques[order], group_codes, group_positions, first[order]
+    ordered_values, group_codes, first = renumber_codes_compact(codes)
+    group_positions = group_positions_from_codes(group_codes, ordered_values.size)
+    return ordered_values, group_codes, group_positions, first
 
 
 def factorize_key_codes(

@@ -1,0 +1,365 @@
+"""Vectorized grouped-aggregation kernels.
+
+Given factorized group codes (one ``int64`` code in ``[0, n_groups)`` per row,
+e.g. from :func:`repro.dataframe.groupby.factorize_key_codes`) and a float64
+value array, a :class:`GroupedAggregator` computes any of the 15 aggregation
+functions of :mod:`repro.dataframe.aggregates` for **every group at once**:
+
+* ``np.bincount`` drives the accumulation family (COUNT, SUM, AVG, VAR,
+  VAR_SAMPLE, STD, STD_SAMPLE, KURTOSIS),
+* one ``np.lexsort`` per value array drives the order-statistics family
+  (MIN, MAX, MEDIAN, MAD) via segment boundaries, and
+* equal-value *runs* inside the sorted segments drive the distribution
+  family (COUNT_DISTINCT, ENTROPY, MODE).
+
+Intermediates (NaN-stripped values, group counts, sums, deviations, the
+sorted segments and the value runs) are computed lazily and shared across
+functions, so evaluating all 15 aggregates costs roughly one sort plus a
+handful of ``bincount`` passes -- this is what makes
+``QueryEngine.execute_batch`` scale past the per-group Python loop.
+
+Semantics contract (matching :func:`repro.dataframe.aggregates.aggregate`
+element-wise):
+
+* NaN values are dropped per group before aggregating.
+* Empty groups (no rows, or all values NaN) yield ``NaN``, except COUNT and
+  COUNT_DISTINCT which yield ``0.0``.
+* VAR_SAMPLE / STD_SAMPLE need at least two values, else ``NaN``.
+* KURTOSIS needs at least two values (else ``NaN``) and is ``0.0`` for
+  zero-variance groups (decided on ``max == min``).
+* MODE ties break deterministically to the **smallest** value (see
+  :func:`repro.dataframe.aggregates.agg_mode`).
+
+Every kernel is **bit-for-bit identical** to the per-group Python reference,
+including the floating-point accumulations: the reference aggregates total
+through a strict left-to-right sum (``aggregates._seq_sum``) and
+``np.bincount`` adds its weights one at a time in row order, so both paths
+associate every addition identically (the accumulation-order contract in
+:mod:`repro.dataframe.aggregates`).  The kernel-equivalence suite in
+``tests/dataframe/test_grouped_kernels.py`` pins this down on arbitrary
+finite floats, and it is what lets the engine switch kernel modes without
+perturbing a search trajectory by even an ulp.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.dataframe.aggregates import AGGREGATE_FUNCTIONS, normalise_aggregate_name
+
+#: Every aggregate name with a vectorized kernel (all 15 of Table II).
+GROUPED_KERNELS = frozenset(AGGREGATE_FUNCTIONS)
+
+
+class GroupedAggregator:
+    """All 15 grouped aggregates over one (codes, values) pair, vectorized.
+
+    Parameters
+    ----------
+    codes:
+        ``int64`` group id per row, each in ``[0, n_groups)``.  Groups that no
+        row references are legal and behave as empty groups.
+    values:
+        float64 aggregation values aligned to *codes*; NaN marks missing.
+    n_groups:
+        Number of output groups (the length of every result array).
+    """
+
+    def __init__(self, codes: np.ndarray, values: np.ndarray, n_groups: int):
+        codes = np.asarray(codes, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if codes.shape != values.shape:
+            raise ValueError(
+                f"codes and values must align: {codes.shape} vs {values.shape}"
+            )
+        self.n_groups = int(n_groups)
+        valid = ~np.isnan(values)
+        if valid.all():
+            self._codes, self._values = codes, values
+        else:
+            self._codes, self._values = codes[valid], values[valid]
+        self._counts = np.bincount(self._codes, minlength=self.n_groups)
+        self._nonempty = self._counts > 0
+        # Lazily shared intermediates.
+        self._sums: Optional[np.ndarray] = None
+        self._means: Optional[np.ndarray] = None
+        self._dev: Optional[np.ndarray] = None
+        self._ssd: Optional[np.ndarray] = None
+        self._sorted: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._runs: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._medians: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def compute(self, name: str) -> np.ndarray:
+        """The per-group results of aggregate *name* (length ``n_groups``)."""
+        key = normalise_aggregate_name(name)
+        kernel = self._KERNELS.get(key)
+        if kernel is None:
+            raise KeyError(f"No grouped kernel for aggregation function {name!r}")
+        return kernel(self)
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Non-NaN value count per group (``int64``)."""
+        return self._counts
+
+    # ------------------------------------------------------------------
+    # Shared intermediates
+    # ------------------------------------------------------------------
+    def _group_sums(self) -> np.ndarray:
+        if self._sums is None:
+            self._sums = np.bincount(
+                self._codes, weights=self._values, minlength=self.n_groups
+            )
+        return self._sums
+
+    def _group_means(self) -> np.ndarray:
+        if self._means is None:
+            with np.errstate(invalid="ignore"):
+                self._means = self._group_sums() / self._counts
+        return self._means
+
+    def _deviations(self) -> np.ndarray:
+        """Per-row deviation from the row's group mean (two-pass, like np.var)."""
+        if self._dev is None:
+            self._dev = self._values - self._group_means()[self._codes]
+        return self._dev
+
+    def _sum_squared_deviations(self) -> np.ndarray:
+        if self._ssd is None:
+            dev = self._deviations()
+            self._ssd = np.bincount(
+                self._codes, weights=dev * dev, minlength=self.n_groups
+            )
+        return self._ssd
+
+    def _sorted_segments(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Values sorted by (group, value) plus each group's segment start.
+
+        Empty groups get the start offset of their successor; callers must
+        only index segments of non-empty groups.
+        """
+        if self._sorted is None:
+            order = np.lexsort((self._values, self._codes))
+            self._sorted = (self._values[order], self._segment_starts())
+        return self._sorted
+
+    def _segment_starts(self) -> np.ndarray:
+        starts = np.zeros(self.n_groups, dtype=np.int64)
+        if self.n_groups > 1:
+            np.cumsum(self._counts[:-1], out=starts[1:])
+        return starts
+
+    def _median_from_sorted(self, svals: np.ndarray, starts: np.ndarray) -> np.ndarray:
+        """Per-group median from segment-sorted values."""
+        result = np.full(self.n_groups, np.nan)
+        ne = self._nonempty
+        if ne.any():
+            s, c = starts[ne], self._counts[ne]
+            med = svals[s + (c - 1) // 2].copy()
+            # Even segments: np.median averages the two middle elements; odd
+            # segments keep the element itself (averaging (v + v) / 2 would
+            # overflow near the float64 maximum).
+            even = (c % 2) == 0
+            if even.any():
+                lo, hi = med[even], svals[(s + c // 2)[even]]
+                med[even] = (lo + hi) / 2.0
+            result[ne] = med
+        return result
+
+    def _segment_median(self, values: np.ndarray) -> np.ndarray:
+        """Per-group median of *values* (aligned to the NaN-stripped rows)."""
+        order = np.lexsort((values, self._codes))
+        return self._median_from_sorted(values[order], self._segment_starts())
+
+    def _group_medians(self) -> np.ndarray:
+        if self._medians is None:
+            # Reuse the shared sorted segments: MEDIAN must not pay a second
+            # lexsort when MIN/MAX/MODE/... already sorted the values.
+            self._medians = self._median_from_sorted(*self._sorted_segments())
+        return self._medians
+
+    def _value_runs(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Runs of equal values inside the sorted segments.
+
+        Returns ``(run_group, run_value, run_count)``, ordered by
+        (group ascending, value ascending) -- one run per distinct value per
+        group, which is exactly the ``np.unique(..., return_counts=True)``
+        view the Python aggregates take of each group.
+        """
+        if self._runs is None:
+            svals, _ = self._sorted_segments()
+            n = svals.shape[0]
+            if n == 0:
+                empty = np.empty(0, dtype=np.int64)
+                self._runs = (empty, np.empty(0, dtype=np.float64), empty)
+                return self._runs
+            scodes = np.repeat(
+                np.arange(self.n_groups, dtype=np.int64), self._counts
+            )
+            new_run = np.empty(n, dtype=bool)
+            new_run[0] = True
+            new_run[1:] = (svals[1:] != svals[:-1]) | (scodes[1:] != scodes[:-1])
+            run_starts = np.flatnonzero(new_run)
+            run_count = np.diff(np.append(run_starts, n))
+            self._runs = (scodes[run_starts], svals[run_starts], run_count)
+        return self._runs
+
+    def _nan_where_empty(self, values: np.ndarray, copy: bool = False) -> np.ndarray:
+        """NaN for empty groups; *copy* protects cached intermediate arrays."""
+        values = np.asarray(values, dtype=np.float64)
+        if not self._nonempty.all():
+            if copy:
+                values = values.copy()
+            values[~self._nonempty] = np.nan
+        return values
+
+    # ------------------------------------------------------------------
+    # Kernels (one per aggregate function)
+    # ------------------------------------------------------------------
+    def count(self) -> np.ndarray:
+        return self._counts.astype(np.float64)
+
+    def sum(self) -> np.ndarray:
+        return self._nan_where_empty(self._group_sums(), copy=True)
+
+    def avg(self) -> np.ndarray:
+        return self._nan_where_empty(self._group_means(), copy=True)
+
+    def min(self) -> np.ndarray:
+        svals, starts = self._sorted_segments()
+        result = np.full(self.n_groups, np.nan)
+        ne = self._nonempty
+        if ne.any():
+            result[ne] = svals[starts[ne]]
+        return result
+
+    def max(self) -> np.ndarray:
+        svals, starts = self._sorted_segments()
+        result = np.full(self.n_groups, np.nan)
+        ne = self._nonempty
+        if ne.any():
+            result[ne] = svals[starts[ne] + self._counts[ne] - 1]
+        return result
+
+    def median(self) -> np.ndarray:
+        return self._group_medians().copy()
+
+    def mad(self) -> np.ndarray:
+        """Median absolute deviation: a second grouped median over |x - med|."""
+        deviations = np.abs(self._values - self._group_medians()[self._codes])
+        return self._segment_median(deviations)
+
+    def var(self) -> np.ndarray:
+        with np.errstate(invalid="ignore"):
+            return self._nan_where_empty(self._sum_squared_deviations() / self._counts)
+
+    def var_sample(self) -> np.ndarray:
+        result = np.full(self.n_groups, np.nan)
+        enough = self._counts > 1
+        if enough.any():
+            result[enough] = self._sum_squared_deviations()[enough] / (
+                self._counts[enough] - 1
+            )
+        return result
+
+    def std(self) -> np.ndarray:
+        return np.sqrt(self.var())
+
+    def std_sample(self) -> np.ndarray:
+        return np.sqrt(self.var_sample())
+
+    def kurtosis(self) -> np.ndarray:
+        """Excess kurtosis; NaN below two values, 0.0 for zero-variance groups.
+
+        Like :func:`repro.dataframe.aggregates.agg_kurtosis`, zero variance is
+        decided on the group's value range (``max == min``), so constant
+        groups are exactly 0.0 regardless of float accumulation order.
+        """
+        result = np.full(self.n_groups, np.nan)
+        enough = self._counts > 1
+        if not enough.any():
+            return result
+        constant = self.max() == self.min()  # NaN for empty groups -> False
+        dev = self._deviations()
+        dev2 = dev * dev
+        m4 = np.bincount(self._codes, weights=dev2 * dev2, minlength=self.n_groups)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            m4 = m4 / self._counts
+            # Mirror agg_kurtosis exactly: m4 / var**2 - 3.
+            var = self._sum_squared_deviations() / self._counts
+            ratio = m4 / (var * var) - 3.0
+        zero_variance = constant[enough] | (var[enough] == 0.0)
+        result[enough] = np.where(zero_variance, 0.0, ratio[enough])
+        return result
+
+    def count_distinct(self) -> np.ndarray:
+        run_group, _, _ = self._value_runs()
+        return np.bincount(run_group, minlength=self.n_groups).astype(np.float64)
+
+    def entropy(self) -> np.ndarray:
+        run_group, _, run_count = self._value_runs()
+        if run_group.size == 0:
+            return np.full(self.n_groups, np.nan)
+        p = run_count / self._counts[run_group]
+        terms = -(p * np.log(p))
+        return self._nan_where_empty(
+            np.bincount(run_group, weights=terms, minlength=self.n_groups)
+        )
+
+    def mode(self) -> np.ndarray:
+        """Most frequent value; ties break to the smallest value.
+
+        Runs are ordered by value within each group, so the first run that
+        reaches the group's maximum count is the smallest tied value --
+        the same winner ``agg_mode`` picks via ascending ``np.unique`` plus
+        first-occurrence ``argmax``.
+        """
+        run_group, run_value, run_count = self._value_runs()
+        result = np.full(self.n_groups, np.nan)
+        if run_group.size == 0:
+            return result
+        best = np.zeros(self.n_groups, dtype=np.int64)
+        np.maximum.at(best, run_group, run_count)
+        qualifies = run_count == best[run_group]
+        groups, first = np.unique(run_group[qualifies], return_index=True)
+        result[groups] = run_value[qualifies][first]
+        return result
+
+    #: name -> unbound kernel method, keyed by canonical aggregate name.
+    _KERNELS = {
+        "SUM": sum,
+        "MIN": min,
+        "MAX": max,
+        "COUNT": count,
+        "AVG": avg,
+        "COUNT_DISTINCT": count_distinct,
+        "VAR": var,
+        "VAR_SAMPLE": var_sample,
+        "STD": std,
+        "STD_SAMPLE": std_sample,
+        "ENTROPY": entropy,
+        "KURTOSIS": kurtosis,
+        "MODE": mode,
+        "MAD": mad,
+        "MEDIAN": median,
+    }
+
+
+def grouped_aggregate(
+    name: str, codes: np.ndarray, values: np.ndarray, n_groups: int
+) -> np.ndarray:
+    """One-shot helper: aggregate *values* per group code with kernel *name*."""
+    return GroupedAggregator(codes, values, n_groups).compute(name)
+
+
+def grouped_aggregate_many(
+    names, codes: np.ndarray, values: np.ndarray, n_groups: int
+) -> Dict[str, np.ndarray]:
+    """Evaluate several aggregates over one grouping, sharing intermediates."""
+    aggregator = GroupedAggregator(codes, values, n_groups)
+    return {name: aggregator.compute(name) for name in names}

@@ -197,6 +197,13 @@ class Table:
         wins (FeatAug's generated feature tables always have one row per key,
         so this is only a safety net).  Rows without a match get missing
         values in the joined columns.
+
+        Key matching is vectorized: both sides are factorized into one shared
+        integer code space per key column (missing values -- NaN or ``None``
+        -- share a code, so NaN keys join to NaN keys exactly like the
+        historical per-row dictionary probe), multi-column keys are combined
+        arithmetically, and a first-occurrence index array over the right
+        codes replaces the per-row hash lookups.
         """
         if isinstance(on, str):
             on = [on]
@@ -204,18 +211,7 @@ class Table:
             if key not in self or key not in other:
                 raise KeyError(f"Join key {key!r} must exist in both tables")
 
-        right_index: Dict[tuple, int] = {}
-        right_keys = [other.column(k) for k in on]
-        for i in range(other.num_rows):
-            key = tuple(_normalise_key(col.values[i], col) for col in right_keys)
-            if key not in right_index:
-                right_index[key] = i
-
-        left_keys = [self.column(k) for k in on]
-        match = np.full(self.num_rows, -1, dtype=np.int64)
-        for i in range(self.num_rows):
-            key = tuple(_normalise_key(col.values[i], col) for col in left_keys)
-            match[i] = right_index.get(key, -1)
+        match = _join_match(self, other, on)
 
         new_columns = list(self._columns.values())
         existing = set(self.column_names)
@@ -261,14 +257,85 @@ def _normalise_key(value, column: Column):
     return value
 
 
+def _join_key_codes(left: Column, right: Column) -> tuple:
+    """Factorize one join-key column jointly across both tables.
+
+    Returns ``(left_codes, right_codes, n_labels)``: ``int64`` codes into one
+    shared label space.  All missing values (NaN / ``None``) share a single
+    code, mirroring :func:`_normalise_key` (NaN keys join to NaN keys).
+    """
+    n_left = len(left)
+    if left.is_numeric_like and right.is_numeric_like:
+        values = np.concatenate([left.values, right.values])
+        missing = np.isnan(values)
+        uniques = np.unique(values[~missing])
+        codes = np.searchsorted(uniques, values).astype(np.int64)
+        codes[missing] = uniques.size
+        return codes[:n_left], codes[n_left:], uniques.size + 1
+
+    def as_objects(column: Column) -> np.ndarray:
+        if not column.is_numeric_like:
+            return column.values
+        out = np.empty(len(column), dtype=object)
+        for i, v in enumerate(column.values):
+            out[i] = None if np.isnan(v) else float(v)
+        return out
+
+    values = np.concatenate([as_objects(left), as_objects(right)])
+    missing = np.asarray([v is None for v in values], dtype=bool)
+    codes = np.empty(values.shape[0], dtype=np.int64)
+    try:
+        uniques, inverse = np.unique(values[~missing], return_inverse=True)
+        codes[~missing] = inverse
+        codes[missing] = uniques.size
+        n_labels = uniques.size + 1
+    except TypeError:
+        # Values of mixed, mutually unorderable types: dictionary coding.
+        mapping: Dict[object, int] = {}
+        for i, v in enumerate(values):
+            key = None if missing[i] else v
+            if key not in mapping:
+                mapping[key] = len(mapping)
+            codes[i] = mapping[key]
+        n_labels = len(mapping)
+    return codes[:n_left], codes[n_left:], n_labels
+
+
+def _join_match(left: "Table", right: "Table", on: Sequence[str]) -> np.ndarray:
+    """Per-left-row position of the first matching right row (-1 = no match)."""
+    n_left = left.num_rows
+    per_key = [_join_key_codes(left.column(k), right.column(k)) for k in on]
+    left_codes, right_codes, _ = per_key[0]
+    for codes_l, codes_r, n_labels in per_key[1:]:
+        # Compact after every merge so the combined ids stay bounded by the
+        # total row count and the multiply below can never overflow int64.
+        left_codes = left_codes * np.int64(max(n_labels, 1)) + codes_l
+        right_codes = right_codes * np.int64(max(n_labels, 1)) + codes_r
+        both = np.concatenate([left_codes, right_codes])
+        _, inverse = np.unique(both, return_inverse=True)
+        left_codes = inverse[:n_left]
+        right_codes = inverse[n_left:]
+    n_codes = int(max(left_codes.max(initial=-1), right_codes.max(initial=-1))) + 1
+    first = np.full(n_codes, -1, dtype=np.int64)
+    if right_codes.size:
+        # Reversed assignment: the earliest right row wins every collision,
+        # giving the same first-match-wins semantics as the dict probe.
+        first[right_codes[::-1]] = np.arange(
+            right_codes.shape[0] - 1, -1, -1, dtype=np.int64
+        )
+    if left_codes.size == 0:
+        return np.empty(0, dtype=np.int64)
+    return first[left_codes]
+
+
 def _gather_with_missing(column: Column, match: np.ndarray):
     """Gather ``column[match]`` treating ``match == -1`` as a missing value."""
+    valid = match >= 0
     if column.is_numeric_like:
         out = np.full(match.shape[0], np.nan, dtype=np.float64)
-        valid = match >= 0
         out[valid] = column.values[match[valid]]
         return out
     out = np.empty(match.shape[0], dtype=object)
-    for i, m in enumerate(match):
-        out[i] = column.values[m] if m >= 0 else None
+    out[:] = None
+    out[valid] = column.values[match[valid]]
     return out

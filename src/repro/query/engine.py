@@ -15,14 +15,24 @@ re-scan every WHERE predicate) wastes almost all of that work, so a
   re-samples identical queries),
 * offers a **batched API** :meth:`QueryEngine.execute_batch` that groups
   queries by (predicate signature, keys) and evaluates all aggregation
-  functions over each filtered grouping in one pass, and
-* exposes cache / timing statistics (:class:`EngineStats`) consumed by the
-  Figure 5 benchmarks.
+  functions over each filtered grouping in one pass,
+* evaluates aggregations through **vectorized grouped kernels**
+  (:mod:`repro.dataframe.grouped_kernels`) by default -- ``bincount`` /
+  sorted-segment kernels computing every group at once instead of a
+  per-group Python loop; ``kernels="python"`` selects the per-group loop as
+  the in-engine reference path -- and
+* exposes cache / timing statistics (:class:`EngineStats`, including
+  per-kernel aggregation seconds) consumed by the Figure 5 benchmarks.
 
 The engine is an optimisation layer only: its results are element-wise
-identical to the naive filter -> group-by path
-(:func:`repro.query.executor.execute_query_naive`), which the equivalence
-suite in ``tests/query/test_engine_equivalence.py`` enforces.
+**bit-for-bit identical** to the naive filter -> group-by path
+(:func:`repro.query.executor.execute_query_naive`) in both kernel modes,
+which the equivalence suite in ``tests/query/test_engine_equivalence.py``
+enforces.  Bit-identity across the vectorized path holds because the Python
+reference aggregates and ``np.bincount`` share one strict left-to-right
+accumulation order (the accumulation-order contract in
+:mod:`repro.dataframe.aggregates`), so switching kernel modes can never
+perturb a search trajectory by even an ulp.
 """
 
 from __future__ import annotations
@@ -41,7 +51,12 @@ from repro.dataframe.aggregates import (
     normalise_aggregate_name,
 )
 from repro.dataframe.column import Column, DType
-from repro.dataframe.groupby import factorize_key_codes, renumber_codes_by_first_appearance
+from repro.dataframe.groupby import (
+    factorize_key_codes,
+    group_positions_from_codes,
+    renumber_codes_compact,
+)
+from repro.dataframe.grouped_kernels import GroupedAggregator
 from repro.dataframe.predicates import Equals, Predicate, Range
 from repro.dataframe.table import Table
 from repro.query.query import PredicateAwareQuery
@@ -51,6 +66,11 @@ DEFAULT_MASK_CACHE_SIZE = 256
 
 #: Default bound on the number of cached query results per engine.
 DEFAULT_RESULT_CACHE_SIZE = 128
+
+#: Supported aggregation execution modes: vectorized grouped kernels
+#: (the default) or the per-group Python loop kept as the in-engine
+#: reference implementation.
+KERNEL_MODES = ("vectorized", "python")
 
 
 @dataclass
@@ -68,10 +88,15 @@ class EngineStats:
     result_misses: int = 0
     group_index_builds: int = 0
     group_index_reuses: int = 0
+    vectorized_aggregations: int = 0
+    python_aggregations: int = 0
     seconds_masking: float = 0.0
     seconds_indexing: float = 0.0
     seconds_grouping: float = 0.0
     seconds_aggregating: float = 0.0
+    #: Aggregation seconds split per kernel (canonical aggregate name ->
+    #: cumulative wall-clock), for both the vectorized and the python path.
+    kernel_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def mask_hit_rate(self) -> float:
@@ -85,9 +110,19 @@ class EngineStats:
 
     def as_dict(self) -> Dict[str, float]:
         out = dict(self.__dict__)
+        out["kernel_seconds"] = dict(self.kernel_seconds)
         out["mask_hit_rate"] = self.mask_hit_rate
         out["result_hit_rate"] = self.result_hit_rate
         return out
+
+    def record_kernel(self, name: str, seconds: float, vectorized: bool) -> None:
+        """Account one aggregation evaluation to the per-kernel timing split."""
+        self.seconds_aggregating += seconds
+        self.kernel_seconds[name] = self.kernel_seconds.get(name, 0.0) + seconds
+        if vectorized:
+            self.vectorized_aggregations += 1
+        else:
+            self.python_aggregations += 1
 
     def reset(self) -> None:
         for name, value in EngineStats().__dict__.items():
@@ -100,11 +135,15 @@ class EngineStats:
         traffic of earlier runs; hit rates are recomputed from the deltas.
         """
         current = self.as_dict()
-        delta = {
-            name: current[name] - baseline.get(name, 0)
-            for name in current
-            if not name.endswith("_rate")
-        }
+        delta: Dict[str, float] = {}
+        for name, value in current.items():
+            if name.endswith("_rate"):
+                continue
+            if isinstance(value, dict):
+                base = baseline.get(name) or {}
+                delta[name] = {k: v - base.get(k, 0.0) for k, v in value.items()}
+            else:
+                delta[name] = value - baseline.get(name, 0)
         masks = delta["mask_hits"] + delta["mask_misses"]
         delta["mask_hit_rate"] = delta["mask_hits"] / masks if masks else 0.0
         results = delta["result_hits"] + delta["result_misses"]
@@ -192,7 +231,23 @@ def _hashable(value) -> bool:
 
 
 class QueryEngine:
-    """Cached, batched execution of predicate-aware queries on one table."""
+    """Cached, batched execution of predicate-aware queries on one table.
+
+    ``kernels`` selects how aggregations are evaluated:
+
+    * ``"vectorized"`` (default) -- the grouped kernels of
+      :mod:`repro.dataframe.grouped_kernels`: every aggregate is computed for
+      all groups at once from the factorized group codes (``np.bincount`` for
+      the accumulation family, one sort + segment boundaries for the
+      order-statistics and distribution families).  Results -- NaN
+      stripping, empty-group results, MODE tie-breaking, and every
+      floating-point accumulation -- are bit-for-bit identical to the Python
+      aggregates (see the module docstring).
+    * ``"python"`` -- the historical per-group loop over
+      :data:`repro.dataframe.aggregates.AGGREGATE_FUNCTIONS`, kept as the
+      in-engine reference implementation and as the baseline the kernel
+      benchmark measures against.
+    """
 
     def __init__(
         self,
@@ -200,7 +255,13 @@ class QueryEngine:
         mask_cache_size: int = DEFAULT_MASK_CACHE_SIZE,
         result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
         weak_table: bool = False,
+        kernels: str = "vectorized",
     ):
+        if kernels not in KERNEL_MODES:
+            raise ValueError(
+                f"Unknown kernel mode {kernels!r}; expected one of {KERNEL_MODES}"
+            )
+        self.kernels = kernels
         # Directly-constructed engines own a strong reference to their table.
         # Registry engines (``engine_for``) hold only a weak one: the registry
         # maps table -> engine, and a strong back-reference from the engine
@@ -383,34 +444,62 @@ class QueryEngine:
     def _execute_plan(self, queries: Sequence[PredicateAwareQuery], batched: bool) -> List[Table]:
         """Run queries sharing one (predicate, keys) plan.
 
-        The plan's mask, filtered grouping and per-attribute group slices are
-        computed once; every query then only pays its per-group aggregation
-        loop.  Results are written to the result cache but never read from it
-        (callers check the cache first).
+        The plan's mask, filtered grouping and per-attribute aggregable
+        values are computed once; every query then only pays one grouped
+        kernel evaluation (or, with ``kernels="python"``, its per-group
+        aggregation loop).  Results are written to the result cache but never
+        read from it (callers check the cache first).
         """
         first = queries[0]
         index = self.group_index(first.keys)
         mask = self.query_mask(first)
-        group_ids, group_rows, row_idx = self._filtered_groups(index, mask)
+        group_ids, codes, n_groups, row_idx = self._filtered_groups(index, mask)
         key_columns: Optional[List[Column]] = None
+        aggregators: Dict[str, GroupedAggregator] = {}
         group_slices: Dict[str, List[np.ndarray]] = {}
+        group_rows: Optional[List[np.ndarray]] = None
         results: List[Table] = []
         for query in queries:
-            func = self._aggregate_function(query.agg_func)
+            func_name = normalise_aggregate_name(query.agg_func)
+            if func_name not in AGGREGATE_FUNCTIONS:
+                raise KeyError(f"Unknown aggregation function {query.agg_func!r}")
             self.table.column(query.agg_attr)  # KeyError for unknown attributes
-            if not group_rows:
+            if n_groups == 0:
                 result = self._empty_result(query)
             else:
-                slices = group_slices.get(query.agg_attr)
-                if slices is None:
-                    values = self._agg_values(query.agg_attr, row_idx)
-                    slices = [values[rows] for rows in group_rows]
-                    group_slices[query.agg_attr] = slices
-                start = time.perf_counter()
-                feature = np.empty(len(slices), dtype=np.float64)
-                for g, chunk in enumerate(slices):
-                    feature[g] = func(chunk)
-                self.stats.seconds_aggregating += time.perf_counter() - start
+                # Per-attribute preparation (value gather, group-rows split,
+                # aggregator construction) stays outside the aggregation
+                # timer so seconds_aggregating / kernel_seconds measure the
+                # aggregation work alone in both kernel modes and never
+                # double-count what _group_rows books to seconds_grouping.
+                if self.kernels == "vectorized":
+                    aggregator = aggregators.get(query.agg_attr)
+                    if aggregator is None:
+                        values = self._agg_values(query.agg_attr, row_idx)
+                        if row_idx is not None:
+                            values = values[row_idx]
+                        aggregator = GroupedAggregator(codes, values, n_groups)
+                        aggregators[query.agg_attr] = aggregator
+                    start = time.perf_counter()
+                    feature = aggregator.compute(func_name)
+                else:
+                    slices = group_slices.get(query.agg_attr)
+                    if slices is None:
+                        if group_rows is None:
+                            group_rows = self._group_rows(index, codes, n_groups, row_idx)
+                        values = self._agg_values(query.agg_attr, row_idx)
+                        slices = [values[rows] for rows in group_rows]
+                        group_slices[query.agg_attr] = slices
+                    func = AGGREGATE_FUNCTIONS[func_name]
+                    feature = np.empty(len(slices), dtype=np.float64)
+                    start = time.perf_counter()
+                    for g, chunk in enumerate(slices):
+                        feature[g] = func(chunk)
+                self.stats.record_kernel(
+                    func_name,
+                    time.perf_counter() - start,
+                    vectorized=self.kernels == "vectorized",
+                )
                 if key_columns is None:
                     key_columns = index.key_columns(group_ids)
                 result = Table(
@@ -430,13 +519,6 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    @staticmethod
-    def _aggregate_function(name: str):
-        func_name = normalise_aggregate_name(name)
-        if func_name not in AGGREGATE_FUNCTIONS:
-            raise KeyError(f"Unknown aggregation function {name!r}")
-        return AGGREGATE_FUNCTIONS[func_name]
-
     def _result_key(self, query: PredicateAwareQuery) -> Optional[tuple]:
         # Built from the dtype-aware atom signatures, not query.signature():
         # the latter omits predicate_dtypes, so an Equals and a Range over the
@@ -458,25 +540,43 @@ class QueryEngine:
         return key
 
     def _filtered_groups(self, index: GroupIndex, mask: Optional[np.ndarray]):
-        """Groups surviving *mask*: ``(group_ids, rows_per_group, row_idx)``.
+        """Groups surviving *mask*: ``(group_ids, codes, n_groups, row_idx)``.
 
-        Output groups are ordered by first appearance within the filtered
-        rows (what grouping the filtered table from scratch would produce);
-        each group's rows are ascending positions into the *full* table.
+        ``group_ids`` are the original index codes of the surviving groups
+        (``None`` means "all groups, original order"); ``codes`` is the
+        re-numbered group id per surviving row.  Groups are ordered by first
+        appearance within the filtered rows (what grouping the filtered table
+        from scratch would produce).
         """
         if mask is None:
-            return None, index.group_rows, None
+            return None, index.codes, index.n_groups, None
         start = time.perf_counter()
         row_idx = np.flatnonzero(mask)
         if row_idx.size == 0:
             self.stats.seconds_grouping += time.perf_counter() - start
-            return np.empty(0, dtype=np.int64), [], row_idx
-        group_ids, _, group_positions, _ = renumber_codes_by_first_appearance(
-            index.codes[row_idx]
-        )
-        group_rows = [row_idx[positions] for positions in group_positions]
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, 0, row_idx
+        group_ids, codes, _ = renumber_codes_compact(index.codes[row_idx])
         self.stats.seconds_grouping += time.perf_counter() - start
-        return group_ids, group_rows, row_idx
+        return group_ids, codes, group_ids.size, row_idx
+
+    def _group_rows(self, index: GroupIndex, codes: np.ndarray, n_groups: int,
+                    row_idx: Optional[np.ndarray]) -> List[np.ndarray]:
+        """Ascending full-table row positions per group (python kernel path).
+
+        Materialising one position array per group is what the vectorized
+        kernels avoid; it is only computed on demand for
+        ``kernels="python"``.
+        """
+        if row_idx is None:
+            return index.group_rows
+        start = time.perf_counter()
+        group_rows = [
+            row_idx[positions]
+            for positions in group_positions_from_codes(codes, n_groups)
+        ]
+        self.stats.seconds_grouping += time.perf_counter() - start
+        return group_rows
 
     def _empty_result(self, query: PredicateAwareQuery) -> Table:
         """The empty feature table, constructed directly (no full-table scan)."""

@@ -21,8 +21,10 @@ def execute_query(
     This is a thin compatibility wrapper over the shared
     :class:`~repro.query.engine.QueryEngine` bound to *relevant_table*: the
     factorized group index, predicate masks and recent results are cached
-    across calls, but the output is element-wise identical to
-    :func:`execute_query_naive`.
+    across calls and aggregations run through the vectorized grouped kernels,
+    but the output is element-wise bit-for-bit identical to
+    :func:`execute_query_naive` (see the accumulation-order contract in
+    :mod:`repro.dataframe.grouped_kernels`).
     """
     return resolve_engine(relevant_table, engine).execute(query)
 

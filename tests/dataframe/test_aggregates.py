@@ -58,6 +58,13 @@ class TestIndividualAggregates:
     def test_kurtosis_of_constant_is_zero(self):
         assert aggregate("KURTOSIS", np.asarray([3.0, 3.0, 3.0])) == 0.0
 
+    def test_kurtosis_of_constant_is_zero_despite_mean_rounding(self):
+        """Constant groups whose accumulated mean is a few ulps off the value
+        (twelve copies of 19.99 -> std ~3.6e-15) must still report 0.0: zero
+        variance is decided on ``max == min``, not on the noisy std."""
+        assert aggregate("KURTOSIS", np.full(12, 19.99)) == 0.0
+        assert aggregate("KURTOSIS", np.full(50, 100.1)) == 0.0
+
     def test_kurtosis_matches_scipy(self):
         from scipy.stats import kurtosis
 
@@ -69,6 +76,23 @@ class TestIndividualAggregates:
 
     def test_mode_tie_prefers_smaller(self):
         assert aggregate("MODE", np.asarray([4.0, 4.0, 1.0, 1.0])) == 1.0
+
+    def test_mode_tie_breaking_is_order_independent(self):
+        """Ties break to the smallest value regardless of input order.
+
+        The sort-based grouped kernel relies on this contract; a frequency
+        dict keyed by first appearance would return 4.0 for the reversed
+        input.
+        """
+        forward = np.asarray([1.0, 1.0, 4.0, 4.0])
+        assert aggregate("MODE", forward) == 1.0
+        assert aggregate("MODE", forward[::-1]) == 1.0
+
+    def test_mode_tie_with_negative_values(self):
+        assert aggregate("MODE", np.asarray([-3.0, -3.0, -8.0, -8.0, 5.0])) == -8.0
+
+    def test_mode_three_way_tie(self):
+        assert aggregate("MODE", np.asarray([7.5, 2.5, -1.5])) == -1.5
 
     def test_mad(self):
         values = np.asarray([1.0, 2.0, 3.0, 100.0])

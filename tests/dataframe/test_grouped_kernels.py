@@ -1,0 +1,170 @@
+"""Kernel-equivalence property suite for the vectorized grouped aggregates.
+
+For every one of the 15 aggregation functions, ``GroupedAggregator`` must
+reproduce the per-group Python reference
+``[aggregate(name, values[codes == g]) for g in range(n_groups)]``
+**bit-for-bit** on arbitrary finite floats -- across NaN-heavy inputs,
+single-row groups, all-NaN groups, constant groups and groups no row
+references at all (empty groups).  Bit-identity (rather than a float
+tolerance) is possible because both paths honour the accumulation-order
+contract of :mod:`repro.dataframe.aggregates`: the reference totals through
+a strict left-to-right sum and ``np.bincount`` adds its weights one at a
+time in row order, so every floating-point addition associates identically.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataframe.aggregates import AGGREGATE_FUNCTIONS, aggregate
+from repro.dataframe.grouped_kernels import (
+    GROUPED_KERNELS,
+    GroupedAggregator,
+    grouped_aggregate,
+    grouped_aggregate_many,
+)
+
+nasty_floats = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+
+def reference(name: str, codes: np.ndarray, values: np.ndarray, n_groups: int) -> np.ndarray:
+    """The per-group Python path the kernels must reproduce."""
+    return np.asarray(
+        [aggregate(name, values[codes == g]) for g in range(n_groups)], dtype=np.float64
+    )
+
+
+def assert_same_nan_placement(got: np.ndarray, want: np.ndarray, context: str) -> None:
+    assert np.array_equal(np.isnan(got), np.isnan(want)), (
+        f"{context}: NaN placement differs: {got} vs {want}"
+    )
+
+
+@st.composite
+def grouped_inputs(draw, value_strategy, max_rows=80):
+    """(codes, values, n_groups) with empty, single-row and all-NaN groups.
+
+    ``n_groups`` may exceed the largest referenced code, so trailing empty
+    groups are exercised; NaNs are injected row-wise with high probability so
+    all-NaN groups occur regularly.
+    """
+    n = draw(st.integers(min_value=0, max_value=max_rows))
+    n_groups = draw(st.integers(min_value=1, max_value=10))
+    codes = np.asarray(
+        draw(st.lists(st.integers(0, n_groups - 1), min_size=n, max_size=n)),
+        dtype=np.int64,
+    )
+    values = np.asarray(
+        draw(st.lists(st.one_of(st.just(float("nan")), value_strategy), min_size=n, max_size=n)),
+        dtype=np.float64,
+    )
+    return codes, values, n_groups
+
+
+class TestKernelEquivalenceProperties:
+    @pytest.mark.parametrize("name", sorted(GROUPED_KERNELS))
+    @given(data=grouped_inputs(nasty_floats))
+    @settings(max_examples=60, deadline=None)
+    def test_kernels_bit_identical_on_arbitrary_floats(self, name, data):
+        codes, values, n_groups = data
+        got = grouped_aggregate(name, codes, values, n_groups)
+        want = reference(name, codes, values, n_groups)
+        assert_same_nan_placement(got, want, name)
+        finite = ~np.isnan(want)
+        assert np.array_equal(got[finite], want[finite]), f"{name}: {got} != {want}"
+
+    @given(data=grouped_inputs(nasty_floats, max_rows=40))
+    @settings(max_examples=25, deadline=None)
+    def test_shared_intermediates_are_not_corrupted_across_kernels(self, data):
+        """Evaluating all 15 kernels off one aggregator matches one-shot calls."""
+        codes, values, n_groups = data
+        shared = grouped_aggregate_many(sorted(GROUPED_KERNELS), codes, values, n_groups)
+        for name, got in shared.items():
+            lone = grouped_aggregate(name, codes, values, n_groups)
+            assert_same_nan_placement(got, lone, name)
+            finite = ~np.isnan(lone)
+            assert np.array_equal(got[finite], lone[finite]), f"{name} order-dependent"
+
+
+class TestEdgeCaseSemantics:
+    @pytest.mark.parametrize("name", sorted(GROUPED_KERNELS))
+    def test_empty_and_all_nan_groups(self, name):
+        """Groups 0 (no rows) and 2 (all NaN) follow the empty-group contract."""
+        codes = np.asarray([1, 1, 2, 2], dtype=np.int64)
+        values = np.asarray([1.0, 3.0, np.nan, np.nan])
+        got = grouped_aggregate(name, codes, values, 3)
+        want = reference(name, codes, values, 3)
+        assert_same_nan_placement(got, want, name)
+        for g in (0, 2):
+            if name.startswith("COUNT"):
+                assert got[g] == 0.0
+            else:
+                assert np.isnan(got[g])
+
+    @pytest.mark.parametrize("name", sorted(GROUPED_KERNELS))
+    def test_single_row_groups(self, name):
+        codes = np.arange(5, dtype=np.int64)
+        values = np.asarray([-2.5, 0.0, 0.25, 7.0, np.nan])
+        got = grouped_aggregate(name, codes, values, 5)
+        want = reference(name, codes, values, 5)
+        assert_same_nan_placement(got, want, name)
+        finite = ~np.isnan(want)
+        assert np.array_equal(got[finite], want[finite])
+
+    @pytest.mark.parametrize("name", sorted(GROUPED_KERNELS))
+    def test_totally_empty_input(self, name):
+        got = grouped_aggregate(
+            name, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64), 4
+        )
+        assert got.shape == (4,)
+        if name.startswith("COUNT"):
+            assert (got == 0.0).all()
+        else:
+            assert np.isnan(got).all()
+
+    def test_kurtosis_constant_group_is_exactly_zero(self):
+        """Constant groups are zero-variance by value range, not by noisy std.
+
+        Twelve copies of 19.99 accumulate to a mean a few ulps off, which
+        historically made the ``std == 0`` branch flip; both paths now return
+        exactly 0.0.
+        """
+        codes = np.zeros(12, dtype=np.int64)
+        values = np.full(12, 19.99)
+        assert grouped_aggregate("KURTOSIS", codes, values, 1)[0] == 0.0
+        assert aggregate("KURTOSIS", values) == 0.0
+
+    def test_mode_tie_breaks_to_smallest_per_group(self):
+        codes = np.asarray([0, 0, 0, 0, 1, 1, 1, 1], dtype=np.int64)
+        values = np.asarray([4.0, 4.0, 1.0, 1.0, -3.0, -3.0, -8.0, -8.0])
+        got = grouped_aggregate("MODE", codes, values, 2)
+        assert got[0] == 1.0  # ties 4.0 vs 1.0 -> smaller wins
+        assert got[1] == -8.0  # ties -3.0 vs -8.0 -> smaller wins
+
+    def test_entropy_of_singleton_group_is_zero(self):
+        got = grouped_aggregate("ENTROPY", np.zeros(3, dtype=np.int64), np.full(3, 7.0), 1)
+        assert got[0] == 0.0
+
+    def test_median_even_group_matches_numpy(self):
+        codes = np.zeros(4, dtype=np.int64)
+        values = np.asarray([1.0, 9.0, 3.0, 5.0])
+        assert grouped_aggregate("MEDIAN", codes, values, 1)[0] == np.median(values)
+
+    def test_counts_property_exposed(self):
+        agg = GroupedAggregator(
+            np.asarray([0, 0, 2], dtype=np.int64), np.asarray([1.0, np.nan, 2.0]), 3
+        )
+        assert list(agg.counts) == [1, 0, 1]
+
+    def test_unknown_kernel_raises(self):
+        agg = GroupedAggregator(np.zeros(1, dtype=np.int64), np.ones(1), 1)
+        with pytest.raises(KeyError):
+            agg.compute("FROBNICATE")
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            GroupedAggregator(np.zeros(2, dtype=np.int64), np.ones(3), 1)
+
+    def test_all_fifteen_aggregates_have_kernels(self):
+        assert GROUPED_KERNELS == set(AGGREGATE_FUNCTIONS)
+        assert len(GROUPED_KERNELS) == 15

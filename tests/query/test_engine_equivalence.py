@@ -1,11 +1,17 @@
-"""Executor-equivalence suite: the engine's fast path vs the naive path.
+"""Executor-equivalence suite: the engine's fast paths vs the naive path.
 
 ``QueryEngine.execute`` / ``execute_batch`` must produce tables element-wise
-identical (same columns, dtypes and values, NaN included) to
+**bit-for-bit identical** (same columns, dtypes and values, NaN included) to
 ``execute_query_naive`` for every query the search can generate: NaN keys,
 empty filter results, categorical aggregation attributes and all 15 aggregate
-functions.  The engine is an optimisation layer only -- this suite is what
-locks that in.
+functions -- in **both** aggregation kernel modes (the default vectorized
+grouped kernels and the per-group ``kernels="python"`` loop).
+
+Bit-identity across the vectorized path is possible because both it and the
+Python reference honour the accumulation-order contract of
+:mod:`repro.dataframe.aggregates` (strict left-to-right sums, the order
+``np.bincount`` accumulates in), so no float tolerance is needed anywhere.
+The engine is an optimisation layer only -- this suite is what locks that in.
 """
 
 import numpy as np
@@ -15,7 +21,7 @@ from hypothesis import given, settings, strategies as st
 from repro.dataframe.aggregates import AGGREGATE_FUNCTIONS
 from repro.dataframe.column import Column, DType
 from repro.dataframe.table import Table
-from repro.query.engine import QueryEngine
+from repro.query.engine import KERNEL_MODES, QueryEngine
 from repro.query.executor import execute_query, execute_query_naive
 from repro.query.query import PredicateAwareQuery
 
@@ -83,33 +89,58 @@ def random_queries(draw):
     return PredicateAwareQuery(agg_func, agg_attr, keys, predicates, dtypes)
 
 
+@pytest.mark.parametrize("kernels", KERNEL_MODES)
 class TestExecuteEquivalence:
     @given(table=random_tables(), query=random_queries())
     @settings(max_examples=60, deadline=None)
-    def test_engine_matches_naive(self, table, query):
-        engine = QueryEngine(table)
+    def test_engine_matches_naive(self, kernels, table, query):
+        engine = QueryEngine(table, kernels=kernels)
         expected = execute_query_naive(query, table)
         assert_tables_identical(engine.execute(query), expected)
         # Second run is served from the result cache and must be identical too.
         assert_tables_identical(engine.execute(query), expected)
 
-    @given(table=random_tables(), query=random_queries())
-    @settings(max_examples=30, deadline=None)
-    def test_compatibility_wrapper_matches_naive(self, table, query):
-        assert_tables_identical(
-            execute_query(query, table), execute_query_naive(query, table)
-        )
-
     @given(table=random_tables(), queries=st.lists(random_queries(), min_size=1, max_size=6))
     @settings(max_examples=40, deadline=None)
-    def test_batch_matches_naive(self, table, queries):
-        engine = QueryEngine(table)
+    def test_batch_matches_naive(self, kernels, table, queries):
+        engine = QueryEngine(table, kernels=kernels)
         results = engine.execute_batch(queries)
         assert len(results) == len(queries)
         for query, result in zip(queries, results):
             assert_tables_identical(result, execute_query_naive(query, table))
 
 
+class TestCompatibilityWrapper:
+    @given(table=random_tables(), query=random_queries())
+    @settings(max_examples=30, deadline=None)
+    def test_compatibility_wrapper_matches_naive(self, table, query):
+        # execute_query goes through the shared (vectorized) engine.
+        assert_tables_identical(
+            execute_query(query, table), execute_query_naive(query, table)
+        )
+
+
+class TestKernelPathsAgree:
+    """Both kernel modes produce bit-identical tables for the same queries."""
+
+    @given(table=random_tables(), queries=st.lists(random_queries(), min_size=1, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_vectorized_agrees_with_python_kernels(self, table, queries):
+        vectorized = QueryEngine(table, kernels="vectorized")
+        python = QueryEngine(table, kernels="python")
+        for got, want in zip(
+            vectorized.execute_batch(queries), python.execute_batch(queries)
+        ):
+            assert_tables_identical(got, want)
+        assert python.stats.vectorized_aggregations == 0
+        assert vectorized.stats.python_aggregations == 0
+
+    def test_unknown_kernel_mode_rejected(self):
+        with pytest.raises(ValueError):
+            QueryEngine(Table([Column("k", [1.0])]), kernels="duckdb")
+
+
+@pytest.mark.parametrize("kernels", KERNEL_MODES)
 class TestAllAggregateFunctions:
     @pytest.fixture
     def table(self, rng):
@@ -135,25 +166,25 @@ class TestAllAggregateFunctions:
         )
 
     @pytest.mark.parametrize("agg_func", AGG_FUNCS)
-    def test_numeric_attribute(self, table, agg_func):
-        engine = QueryEngine(table)
+    def test_numeric_attribute(self, kernels, table, agg_func):
+        engine = QueryEngine(table, kernels=kernels)
         query = PredicateAwareQuery(
             agg_func, "val", ("key",), {"cat": "u"}, {"cat": DType.CATEGORICAL}
         )
         assert_tables_identical(engine.execute(query), execute_query_naive(query, table))
 
     @pytest.mark.parametrize("agg_func", AGG_FUNCS)
-    def test_categorical_attribute_under_filter(self, table, agg_func):
+    def test_categorical_attribute_under_filter(self, kernels, table, agg_func):
         """Filtered categorical coding (MODE returns codes!) must match."""
-        engine = QueryEngine(table)
+        engine = QueryEngine(table, kernels=kernels)
         query = PredicateAwareQuery(
             agg_func, "cat", ("key",), {"val": (-0.4, 2.0)}, {"val": DType.NUMERIC}
         )
         assert_tables_identical(engine.execute(query), execute_query_naive(query, table))
 
     @pytest.mark.parametrize("agg_func", AGG_FUNCS)
-    def test_batch_of_all_functions_shares_one_plan(self, table, agg_func):
-        engine = QueryEngine(table)
+    def test_batch_of_all_functions_shares_one_plan(self, kernels, table, agg_func):
+        engine = QueryEngine(table, kernels=kernels)
         queries = [
             PredicateAwareQuery(f, "val", ("key",), {"cat": "v"}, {"cat": DType.CATEGORICAL})
             for f in AGG_FUNCS
@@ -179,7 +210,8 @@ class TestEdgeCases:
         assert result.num_rows == 2
         assert np.isnan(result.column("key").values).sum() == 1
 
-    def test_empty_filter_result(self, logs_table):
+    @pytest.mark.parametrize("kernels", KERNEL_MODES)
+    def test_empty_filter_result(self, kernels, logs_table):
         query = PredicateAwareQuery(
             "AVG",
             "pprice",
@@ -187,14 +219,15 @@ class TestEdgeCases:
             {"department": "does-not-exist"},
             {"department": DType.CATEGORICAL},
         )
-        engine = QueryEngine(logs_table)
+        engine = QueryEngine(logs_table, kernels=kernels)
         result = engine.execute(query)
         assert_tables_identical(result, execute_query_naive(query, logs_table))
         assert result.num_rows == 0
         assert result.column_names == ["cname", "feature"]
         assert engine.stats.empty_results == 1
 
-    def test_empty_table(self):
+    @pytest.mark.parametrize("kernels", KERNEL_MODES)
+    def test_empty_table(self, kernels):
         table = Table(
             [
                 Column("key", [], dtype=DType.NUMERIC),
@@ -203,7 +236,8 @@ class TestEdgeCases:
         )
         query = PredicateAwareQuery("COUNT", "val", ("key",))
         assert_tables_identical(
-            QueryEngine(table).execute(query), execute_query_naive(query, table)
+            QueryEngine(table, kernels=kernels).execute(query),
+            execute_query_naive(query, table),
         )
 
     def test_datetime_and_multi_key(self, logs_table):
@@ -220,12 +254,23 @@ class TestEdgeCases:
             QueryEngine(logs_table).execute(query), execute_query_naive(query, logs_table)
         )
 
-    def test_unknown_aggregate_raises(self, logs_table):
+    @pytest.mark.parametrize("kernels", KERNEL_MODES)
+    def test_unknown_aggregate_raises(self, kernels, logs_table):
         query = PredicateAwareQuery("NOPE", "pprice", ("cname",))
         with pytest.raises(KeyError):
-            QueryEngine(logs_table).execute(query)
+            QueryEngine(logs_table, kernels=kernels).execute(query)
 
-    def test_unknown_attribute_raises(self, logs_table):
+    @pytest.mark.parametrize("kernels", KERNEL_MODES)
+    def test_unknown_attribute_raises(self, kernels, logs_table):
         query = PredicateAwareQuery("SUM", "missing", ("cname",))
         with pytest.raises(KeyError):
-            QueryEngine(logs_table).execute(query)
+            QueryEngine(logs_table, kernels=kernels).execute(query)
+
+    def test_kernel_timing_lands_in_stats(self, logs_table):
+        engine = QueryEngine(logs_table)
+        engine.execute(PredicateAwareQuery("SUM", "pprice", ("cname",)))
+        assert engine.stats.vectorized_aggregations == 1
+        assert set(engine.stats.kernel_seconds) == {"SUM"}
+        assert engine.stats.kernel_seconds["SUM"] >= 0.0
+        delta = engine.stats.delta_since(engine.stats.as_dict())
+        assert delta["kernel_seconds"]["SUM"] == 0.0
