@@ -28,6 +28,7 @@ from repro.datasets import DATASET_NAMES, load_dataset
 from repro.experiments.reporting import render_table
 from repro.experiments.runner import METHOD_NAMES, run_method
 from repro.ml.model_zoo import MODEL_NAMES
+from repro.query.backends import backend_names
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -36,6 +37,12 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--warmup-iterations", type=int, default=30, help="proxy-TPE iterations in the warm-up phase")
     parser.add_argument("--search-iterations", type=int, default=12, help="real-model TPE iterations per template")
     parser.add_argument("--proxy", choices=["mi", "spearman", "lr"], default="mi", help="low-cost proxy")
+    parser.add_argument(
+        "--engine-backend",
+        choices=list(backend_names()),
+        default=None,
+        help="query-engine execution backend (default: $REPRO_ENGINE_BACKEND or numpy)",
+    )
     parser.add_argument("--seed", type=int, default=0, help="random seed")
 
 
@@ -46,6 +53,7 @@ def _config_from_args(args: argparse.Namespace) -> FeatAugConfig:
         warmup_iterations=args.warmup_iterations,
         search_iterations=args.search_iterations,
         proxy=args.proxy,
+        engine_backend=args.engine_backend,
         seed=args.seed,
     )
 

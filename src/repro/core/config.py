@@ -66,6 +66,15 @@ class FeatAugConfig:
     template_real_iterations: int = 6
 
     # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    #: execution backend of the shared query engine ("numpy", "python",
+    #: "sqlite", or any name registered via
+    #: :func:`repro.query.register_backend`); ``None`` uses the process
+    #: default (``$REPRO_ENGINE_BACKEND`` or "numpy").
+    engine_backend: str | None = None
+
+    # ------------------------------------------------------------------
     # Proxy and evaluation
     # ------------------------------------------------------------------
     #: low-cost proxy: "mi", "spearman" or "lr" (Table VIII).
@@ -92,6 +101,12 @@ class FeatAugConfig:
             raise ValueError(f"Unknown proxy {self.proxy!r}")
         if self.search_strategy not in ("tpe", "random"):
             raise ValueError(f"Unknown search strategy {self.search_strategy!r}")
+        if self.engine_backend is not None:
+            # Delegate to the engine-config validation so the backend check
+            # (and its error message) has exactly one implementation.
+            from repro.query.engine import EngineConfig
+
+            EngineConfig(backend=self.engine_backend).validate()
 
     def with_overrides(self, **kwargs) -> "FeatAugConfig":
         """Copy of this config with specific fields replaced."""

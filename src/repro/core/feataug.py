@@ -31,7 +31,7 @@ from repro.ml.base import BaseEstimator
 from repro.ml.model_zoo import make_model
 from repro.ml.preprocessing import train_valid_test_split
 from repro.query.augment import apply_queries, generated_feature_names
-from repro.query.engine import engine_for
+from repro.query.engine import EngineConfig, engine_for
 from repro.query.query import PredicateAwareQuery
 from repro.query.template import QueryTemplate
 
@@ -49,7 +49,9 @@ class FeatAugResult:
     qti_seconds: float = 0.0
     warmup_seconds: float = 0.0
     generate_seconds: float = 0.0
-    #: Cache/timing counters of the shared query engine at the end of the run.
+    #: Cache/timing counters of the shared query engine at the end of the run,
+    #: including the execution backend's name (``engine_stats["backend"]``)
+    #: and the per-backend wall-clock split (``"backend_seconds"``).
     engine_stats: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -152,8 +154,11 @@ class FeatAug:
         proxy = make_proxy(self.config.proxy)
         # One shared execution engine for the whole run: template search, SQL
         # generation and final materialisation all hit the same group index
-        # and predicate-mask cache.
-        engine = engine_for(relevant_table)
+        # and predicate-mask cache.  ``config.engine_backend`` selects the
+        # execution backend (None = process default).
+        engine = engine_for(
+            relevant_table, config=EngineConfig(backend=self.config.engine_backend)
+        )
         # Engines are shared per table across runs; report this run's traffic
         # only, not the engine's lifetime counters.
         stats_baseline = engine.stats.as_dict()

@@ -122,10 +122,12 @@ def subsample_relevant(bundle: DatasetBundle, n_rows: int, seed: int = 0) -> Dat
 def _run_feataug_timing(bundle: DatasetBundle, model_name: str, config: FeatAugConfig, size: int) -> ScalingPoint:
     # Timing points must start from a cold query engine: scaling sweeps can
     # reuse the same relevant-table object across points, and warm mask /
-    # result caches would make later points look artificially fast.
-    from repro.query.engine import engine_for
+    # result caches would make later points look artificially fast.  The
+    # registry is keyed per EngineConfig, so the reset must target the engine
+    # the run's configured backend will actually use.
+    from repro.query.engine import EngineConfig, engine_for
 
-    engine_for(bundle.relevant).reset()
+    engine_for(bundle.relevant, config=EngineConfig(backend=config.engine_backend)).reset()
     feataug = FeatAug(
         label=bundle.label_col,
         keys=bundle.keys,

@@ -1,0 +1,38 @@
+"""Pluggable execution backends for the query engine.
+
+The package exposes the :class:`ExecutionBackend` protocol and the name
+registry (:func:`register_backend`, :func:`make_backend`,
+:func:`backend_names`), plus the three built-in backends:
+
+* ``"numpy"``  -- vectorized grouped kernels (the default; bit-identical to
+  the reference aggregates),
+* ``"python"`` -- the per-group Python loop (the in-process reference path),
+* ``"sqlite"`` -- generated SQL over an in-memory SQLite database (a backend
+  that owns its storage, filtering and grouping; value-equal within 1e-9).
+
+Importing this package registers the built-ins; third-party backends register
+themselves by decorating an :class:`ExecutionBackend` subclass with
+``@register_backend("<name>")`` (see ``docs/architecture.md``).
+"""
+
+from repro.query.backends.base import (
+    BACKEND_REGISTRY,
+    ExecutionBackend,
+    backend_names,
+    make_backend,
+    register_backend,
+)
+from repro.query.backends.numpy_backend import NumpyBackend
+from repro.query.backends.python_backend import PythonBackend
+from repro.query.backends.sqlite_backend import SqliteBackend
+
+__all__ = [
+    "BACKEND_REGISTRY",
+    "ExecutionBackend",
+    "backend_names",
+    "make_backend",
+    "register_backend",
+    "NumpyBackend",
+    "PythonBackend",
+    "SqliteBackend",
+]

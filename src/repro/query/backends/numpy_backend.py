@@ -1,0 +1,38 @@
+"""The vectorized grouped-kernel backend (the default execution path).
+
+This is the former ``kernels="vectorized"`` branch of the engine moved behind
+the :class:`~repro.query.backends.base.ExecutionBackend` seam: every
+aggregate is computed for all groups at once from the factorized group codes
+(:mod:`repro.dataframe.grouped_kernels` -- ``np.bincount`` for the
+accumulation family, one sort + segment boundaries for the order-statistics
+and distribution families).  Results are **bit-for-bit identical** to the
+per-group Python reference thanks to the accumulation-order contract in
+:mod:`repro.dataframe.aggregates`.
+
+The plan scaffolding (group index, masks, filtered groups, output assembly)
+is shared with the python backend via
+:class:`~repro.query.backends.base.GroupIndexBackend`; shared derived state
+(predicate-mask cache, factorized group index, per-attribute aggregable
+arrays) lives on the owning engine so it is reused across plans and across
+the in-process backends.
+"""
+
+from __future__ import annotations
+
+from repro.dataframe.grouped_kernels import GroupedAggregator
+from repro.query.backends.base import GroupIndexBackend, register_backend
+
+
+@register_backend("numpy")
+class NumpyBackend(GroupIndexBackend):
+    """Vectorized grouped-aggregation kernels over the engine's group index."""
+
+    def prepare_attr(self, attr: str, context: dict) -> GroupedAggregator:
+        row_idx = context["row_idx"]
+        values = self.engine.agg_values(attr, row_idx)
+        if row_idx is not None:
+            values = values[row_idx]
+        return GroupedAggregator(context["codes"], values, context["n_groups"])
+
+    def aggregate(self, func: str, prepared: GroupedAggregator):
+        return prepared.compute(func)

@@ -1,64 +1,75 @@
-"""Batched query-execution engine with a shared group index and mask caching.
+"""Batched query-execution engine: plan IR, caches, and pluggable backends.
 
 The Query Template Identification and SQL generation searches execute hundreds
 to thousands of candidate queries against the *same* relevant table with the
 *same* foreign keys.  Re-deriving everything per query (hash the key column,
 re-scan every WHERE predicate) wastes almost all of that work, so a
-:class:`QueryEngine` is bound to one relevant table and
+:class:`QueryEngine` is bound to one relevant table and layered in three:
 
-* computes a **factorized group index once** per key combination (vectorized
-  key codes via ``np.unique`` in :func:`repro.dataframe.groupby.factorize_key_codes`),
-* keeps an LRU **predicate-mask cache** keyed by predicate-atom signature so
-  queries sharing WHERE atoms reuse boolean masks and conjunctions compose
-  with ``&`` instead of re-scanning the table,
-* keeps a small LRU **result cache** keyed by query signature (TPE frequently
-  re-samples identical queries),
-* offers a **batched API** :meth:`QueryEngine.execute_batch` that groups
-  queries by (predicate signature, keys) and evaluates all aggregation
-  functions over each filtered grouping in one pass,
-* evaluates aggregations through **vectorized grouped kernels**
-  (:mod:`repro.dataframe.grouped_kernels`) by default -- ``bincount`` /
-  sorted-segment kernels computing every group at once instead of a
-  per-group Python loop; ``kernels="python"`` selects the per-group loop as
-  the in-engine reference path -- and
-* exposes cache / timing statistics (:class:`EngineStats`, including
-  per-kernel aggregation seconds) consumed by the Figure 5 benchmarks.
+1. **Logical plan IR** -- :meth:`QueryEngine.plan` lowers every
+   :class:`~repro.query.query.PredicateAwareQuery` into a frozen
+   :class:`~repro.query.plan.QueryPlan` (predicate atoms, group-by keys,
+   aggregate specs).  Everything past that point -- result caching, batching,
+   execution -- consumes only plans.
+2. **Execution backends** -- the actual filter / group / aggregate work is
+   delegated to the :class:`~repro.query.backends.ExecutionBackend` selected
+   by :class:`EngineConfig` (``"numpy"`` vectorized grouped kernels by
+   default, ``"python"`` per-group reference loop, ``"sqlite"`` generated SQL
+   over an in-memory database; third parties register more via
+   ``@register_backend``).
+3. **Shared derived state** -- a factorized group index per key combination,
+   an LRU predicate-mask cache keyed by atom signature, a per-attribute
+   aggregable-array cache (used by the in-process backends) and an LRU
+   result cache keyed by plan signature (TPE frequently re-samples identical
+   queries), plus cache / timing statistics (:class:`EngineStats`, including
+   the backend name and per-backend wall-clock split) consumed by the
+   Figure 5 benchmarks.
 
-The engine is an optimisation layer only: its results are element-wise
-**bit-for-bit identical** to the naive filter -> group-by path
-(:func:`repro.query.executor.execute_query_naive`) in both kernel modes,
-which the equivalence suite in ``tests/query/test_engine_equivalence.py``
-enforces.  Bit-identity across the vectorized path holds because the Python
-reference aggregates and ``np.bincount`` share one strict left-to-right
-accumulation order (the accumulation-order contract in
-:mod:`repro.dataframe.aggregates`), so switching kernel modes can never
-perturb a search trajectory by even an ulp.
+The engine is an optimisation layer only: for the in-process backends its
+results are element-wise **bit-for-bit identical** to the naive
+filter -> group-by path (:func:`repro.query.executor.execute_query_naive`),
+because the Python reference aggregates and ``np.bincount`` share one strict
+left-to-right accumulation order (the accumulation-order contract in
+:mod:`repro.dataframe.aggregates`).  Backends that own their storage (sqlite)
+are held to value equality within ``1e-9``.  The backend-parameterized
+equivalence suite in ``tests/query/test_engine_equivalence.py`` enforces
+both bars for every registered backend.
+
+State-reset contract (pinned by ``tests/query/test_backends.py``):
+
+* :meth:`QueryEngine.clear_caches` drops every piece of derived state --
+  masks, results, group indexes, aggregable arrays and backend-private
+  materialisations -- but leaves all statistics counters untouched (they are
+  lifetime counters).
+* :meth:`EngineStats.reset` zeroes every counter and timer but preserves the
+  engine's identity fields (the backend name).
+* :meth:`QueryEngine.reset` composes both: a cold engine whose subsequent
+  traffic is indistinguishable from a freshly constructed one.
 """
 
 from __future__ import annotations
 
+import os
 import time
+import warnings
 import weakref
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.dataframe.aggregates import (
-    AGGREGATE_FUNCTIONS,
-    column_to_aggregable,
-    normalise_aggregate_name,
-)
+from repro.dataframe.aggregates import column_to_aggregable
 from repro.dataframe.column import Column, DType
 from repro.dataframe.groupby import (
     factorize_key_codes,
     group_positions_from_codes,
     renumber_codes_compact,
 )
-from repro.dataframe.grouped_kernels import GroupedAggregator
-from repro.dataframe.predicates import Equals, Predicate, Range
+from repro.dataframe.predicates import Predicate
 from repro.dataframe.table import Table
+from repro.query.backends import ExecutionBackend, backend_names, make_backend
+from repro.query.plan import QueryPlan, atoms_from_query
 from repro.query.query import PredicateAwareQuery
 
 #: Default bound on the number of cached predicate masks per engine.
@@ -67,16 +78,60 @@ DEFAULT_MASK_CACHE_SIZE = 256
 #: Default bound on the number of cached query results per engine.
 DEFAULT_RESULT_CACHE_SIZE = 128
 
-#: Supported aggregation execution modes: vectorized grouped kernels
-#: (the default) or the per-group Python loop kept as the in-engine
-#: reference implementation.
+#: Environment variable overriding the default backend name (used by the CI
+#: backend matrix to replay the query suites per backend).
+BACKEND_ENV_VAR = "REPRO_ENGINE_BACKEND"
+
+#: Legacy ``kernels=`` modes and the backends they map onto.  The flag is
+#: deprecated: ``EngineConfig(backend=...)`` is the supported spelling.
 KERNEL_MODES = ("vectorized", "python")
+_KERNEL_MODE_BACKENDS = {"vectorized": "numpy", "python": "python"}
+
+
+def default_backend_name() -> str:
+    """The process-wide default backend: ``$REPRO_ENGINE_BACKEND`` or numpy."""
+    return os.environ.get(BACKEND_ENV_VAR, "").strip() or "numpy"
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Construction-time knobs of a :class:`QueryEngine`.
+
+    ``backend`` of ``None`` resolves to :func:`default_backend_name` at use
+    time, so a config built before ``$REPRO_ENGINE_BACKEND`` changes still
+    follows the environment.
+    """
+
+    backend: Optional[str] = None
+    mask_cache_size: int = DEFAULT_MASK_CACHE_SIZE
+    result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE
+
+    @property
+    def backend_name(self) -> str:
+        return self.backend or default_backend_name()
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on an unknown backend or non-positive caches."""
+        if self.backend_name not in backend_names():
+            raise ValueError(
+                f"Unknown execution backend {self.backend_name!r}; "
+                f"registered backends: {backend_names()}"
+            )
+        if self.mask_cache_size < 1 or self.result_cache_size < 1:
+            raise ValueError("Cache sizes must be >= 1")
+
+    def cache_key(self) -> tuple:
+        """Identity used to share engines per table (backend resolved)."""
+        return (self.backend_name, self.mask_cache_size, self.result_cache_size)
 
 
 @dataclass
 class EngineStats:
     """Counters and wall-clock totals exposed for the Fig. 5 benchmarks."""
 
+    #: Name of the engine's execution backend (identity, not a counter:
+    #: preserved across :meth:`reset`).
+    backend: str = ""
     queries: int = 0
     batches: int = 0
     batched_queries: int = 0
@@ -95,8 +150,12 @@ class EngineStats:
     seconds_grouping: float = 0.0
     seconds_aggregating: float = 0.0
     #: Aggregation seconds split per kernel (canonical aggregate name ->
-    #: cumulative wall-clock), for both the vectorized and the python path.
+    #: cumulative wall-clock), maintained by every backend.
     kernel_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Total wall-clock spent inside ``ExecutionBackend.run`` per backend
+    #: name (the per-backend timing split; includes masking / grouping time
+    #: the backend booked to the finer-grained counters above).
+    backend_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def mask_hit_rate(self) -> float:
@@ -111,35 +170,56 @@ class EngineStats:
     def as_dict(self) -> Dict[str, float]:
         out = dict(self.__dict__)
         out["kernel_seconds"] = dict(self.kernel_seconds)
+        out["backend_seconds"] = dict(self.backend_seconds)
         out["mask_hit_rate"] = self.mask_hit_rate
         out["result_hit_rate"] = self.result_hit_rate
         return out
 
-    def record_kernel(self, name: str, seconds: float, vectorized: bool) -> None:
-        """Account one aggregation evaluation to the per-kernel timing split."""
-        self.seconds_aggregating += seconds
+    def record_kernel(
+        self, name: str, seconds: float, backend: str, aggregation_only: bool = True
+    ) -> None:
+        """Account one aggregation evaluation to the per-kernel timing split.
+
+        ``aggregation_only=True`` (the in-process backends, which time the
+        aggregation step in isolation) also books the time into
+        ``seconds_aggregating``, keeping the aggregation-phase comparison
+        between the numpy and python kernels apples-to-apples.  Backends
+        whose per-aggregate timing fuses filtering and grouping into one
+        statement (sqlite) pass ``False``: their time lands only in
+        ``kernel_seconds`` (per-statement split) and, via the engine, in
+        ``backend_seconds``.  The legacy vectorized / python aggregation
+        counters track the two in-process backends.
+        """
+        if aggregation_only:
+            self.seconds_aggregating += seconds
         self.kernel_seconds[name] = self.kernel_seconds.get(name, 0.0) + seconds
-        if vectorized:
+        if backend == "numpy":
             self.vectorized_aggregations += 1
-        else:
+        elif backend == "python":
             self.python_aggregations += 1
 
     def reset(self) -> None:
+        """Zero every counter and timer; identity fields (backend) survive."""
+        backend = self.backend
         for name, value in EngineStats().__dict__.items():
             setattr(self, name, value)
+        self.backend = backend
 
     def delta_since(self, baseline: Dict[str, float]) -> Dict[str, float]:
         """Counters accumulated since *baseline* (an earlier ``as_dict()``).
 
         Engines are shared per table, so per-run reports must subtract the
-        traffic of earlier runs; hit rates are recomputed from the deltas.
+        traffic of earlier runs; hit rates are recomputed from the deltas and
+        identity fields (the backend name) are carried through unchanged.
         """
         current = self.as_dict()
         delta: Dict[str, float] = {}
         for name, value in current.items():
             if name.endswith("_rate"):
                 continue
-            if isinstance(value, dict):
+            if isinstance(value, str):
+                delta[name] = value
+            elif isinstance(value, dict):
                 base = baseline.get(name) or {}
                 delta[name] = {k: v - base.get(k, 0.0) for k, v in value.items()}
             else:
@@ -222,57 +302,73 @@ class GroupIndex:
         return columns
 
 
-def _hashable(value) -> bool:
-    try:
-        hash(value)
-    except TypeError:
-        return False
-    return True
+def _resolve_config(
+    config: Optional[EngineConfig],
+    kernels: Optional[str],
+    mask_cache_size: Optional[int],
+    result_cache_size: Optional[int],
+) -> EngineConfig:
+    """Fold the legacy keyword spellings into one validated :class:`EngineConfig`."""
+    if kernels is not None:
+        if config is not None:
+            raise ValueError("Pass either config= or the deprecated kernels=, not both")
+        backend = _KERNEL_MODE_BACKENDS.get(kernels)
+        if backend is None:
+            raise ValueError(
+                f"Unknown kernel mode {kernels!r}; expected one of {KERNEL_MODES}"
+            )
+        warnings.warn(
+            f"kernels={kernels!r} is deprecated; use "
+            f"EngineConfig(backend={backend!r}) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        config = EngineConfig(backend=backend)
+    if config is None:
+        config = EngineConfig()
+    overrides = {}
+    if mask_cache_size is not None:
+        overrides["mask_cache_size"] = int(mask_cache_size)
+    if result_cache_size is not None:
+        overrides["result_cache_size"] = int(result_cache_size)
+    if overrides:
+        config = replace(config, **overrides)
+    config.validate()
+    return config
 
 
 class QueryEngine:
-    """Cached, batched execution of predicate-aware queries on one table.
+    """Cached, batched execution of query plans on one table.
 
-    ``kernels`` selects how aggregations are evaluated:
-
-    * ``"vectorized"`` (default) -- the grouped kernels of
-      :mod:`repro.dataframe.grouped_kernels`: every aggregate is computed for
-      all groups at once from the factorized group codes (``np.bincount`` for
-      the accumulation family, one sort + segment boundaries for the
-      order-statistics and distribution families).  Results -- NaN
-      stripping, empty-group results, MODE tie-breaking, and every
-      floating-point accumulation -- are bit-for-bit identical to the Python
-      aggregates (see the module docstring).
-    * ``"python"`` -- the historical per-group loop over
-      :data:`repro.dataframe.aggregates.AGGREGATE_FUNCTIONS`, kept as the
-      in-engine reference implementation and as the baseline the kernel
-      benchmark measures against.
+    ``config`` selects the execution backend and cache sizes; the deprecated
+    ``kernels="vectorized"|"python"`` flag maps onto the numpy / python
+    backends with a ``DeprecationWarning``.
     """
 
     def __init__(
         self,
         table: Table,
-        mask_cache_size: int = DEFAULT_MASK_CACHE_SIZE,
-        result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
+        mask_cache_size: Optional[int] = None,
+        result_cache_size: Optional[int] = None,
         weak_table: bool = False,
-        kernels: str = "vectorized",
+        kernels: Optional[str] = None,
+        config: Optional[EngineConfig] = None,
     ):
-        if kernels not in KERNEL_MODES:
-            raise ValueError(
-                f"Unknown kernel mode {kernels!r}; expected one of {KERNEL_MODES}"
-            )
-        self.kernels = kernels
+        self.config = _resolve_config(config, kernels, mask_cache_size, result_cache_size)
+        self.backend_name = self.config.backend_name
         # Directly-constructed engines own a strong reference to their table.
         # Registry engines (``engine_for``) hold only a weak one: the registry
         # maps table -> engine, and a strong back-reference from the engine
         # would keep every table ever touched alive for the process lifetime.
         self._table_strong = None if weak_table else table
         self._table_ref = weakref.ref(table)
-        self.stats = EngineStats()
+        self.stats = EngineStats(backend=self.backend_name)
         self._indexes: Dict[Tuple[str, ...], GroupIndex] = {}
-        self._masks = _LRUCache(mask_cache_size)
-        self._results = _LRUCache(result_cache_size)
+        self._masks = _LRUCache(self.config.mask_cache_size)
+        self._results = _LRUCache(self.config.result_cache_size)
         self._agg_arrays: Dict[str, np.ndarray] = {}
+        self.backend: ExecutionBackend = make_backend(self.backend_name)
+        self.backend.bind(table, engine=self)
 
     @property
     def table(self) -> Table:
@@ -286,7 +382,27 @@ class QueryEngine:
         return table
 
     # ------------------------------------------------------------------
-    # Shared derived state
+    # Plan building
+    # ------------------------------------------------------------------
+    def plan(self, query: PredicateAwareQuery) -> QueryPlan:
+        """Lower *query* into the logical plan IR the backends consume."""
+        return QueryPlan.from_query(query)
+
+    @staticmethod
+    def predicate_atoms(query: PredicateAwareQuery) -> List[Tuple[Optional[tuple], Predicate]]:
+        """The query's WHERE atoms as ``(signature, predicate)`` pairs.
+
+        Compatibility wrapper over :func:`repro.query.plan.atoms_from_query`;
+        the signature is ``None`` when an atom's constants are unhashable.
+        """
+        return [(atom.signature(), atom.to_predicate()) for atom in atoms_from_query(query)]
+
+    def predicate_signature(self, query: PredicateAwareQuery) -> Optional[tuple]:
+        """Hashable identity of the query's WHERE clause (``None`` = uncacheable)."""
+        return QueryPlan(atoms=atoms_from_query(query)).predicate_signature()
+
+    # ------------------------------------------------------------------
+    # Shared derived state (services used by the in-process backends)
     # ------------------------------------------------------------------
     def group_index(self, keys: Sequence[str]) -> GroupIndex:
         """The (cached) factorized group index for one key combination."""
@@ -309,7 +425,7 @@ class QueryEngine:
             self._agg_arrays[attr] = values
         return values
 
-    def _agg_values(self, attr: str, row_idx: Optional[np.ndarray]) -> np.ndarray:
+    def agg_values(self, attr: str, row_idx: Optional[np.ndarray]) -> np.ndarray:
         """Aggregable values aligned to the full table for a filtered run.
 
         Categorical attributes are coded by first appearance *within the
@@ -322,45 +438,6 @@ class QueryEngine:
         if column.is_numeric_like or row_idx is None:
             return self._full_agg_values(attr)
         return column_to_aggregable(column, rows=row_idx)
-
-    # ------------------------------------------------------------------
-    # Predicate handling
-    # ------------------------------------------------------------------
-    @staticmethod
-    def predicate_atoms(query: PredicateAwareQuery) -> List[Tuple[Optional[tuple], Predicate]]:
-        """The query's WHERE atoms as ``(signature, predicate)`` pairs.
-
-        Mirrors :meth:`PredicateAwareQuery.build_predicate`; the signature is
-        ``None`` when an atom's constants are unhashable (uncacheable).
-        """
-        atoms: List[Tuple[Optional[tuple], Predicate]] = []
-        for attr, constraint in query.predicates.items():
-            dtype = query.predicate_dtypes.get(attr, DType.CATEGORICAL)
-            if constraint is None:
-                continue
-            if dtype is DType.CATEGORICAL:
-                signature = ("eq", attr, constraint)
-                predicate: Predicate = Equals(attr, constraint)
-            else:
-                low, high = constraint
-                if low is None and high is None:
-                    continue
-                signature = ("range", attr, low, high)
-                predicate = Range(attr, low=low, high=high, dtype=dtype)
-            atoms.append((signature if _hashable(signature) else None, predicate))
-        return atoms
-
-    def predicate_signature(self, query: PredicateAwareQuery) -> Optional[tuple]:
-        """Hashable identity of the query's WHERE clause (``None`` = uncacheable).
-
-        An empty tuple means "no predicate" (every row qualifies).
-        """
-        signatures = []
-        for signature, _ in self.predicate_atoms(query):
-            if signature is None:
-                return None
-            signatures.append(signature)
-        return tuple(sorted(signatures, key=repr))
 
     def _atom_mask(self, signature: Optional[tuple], predicate: Predicate) -> np.ndarray:
         if signature is not None:
@@ -376,170 +453,25 @@ class QueryEngine:
             self.stats.mask_evictions += self._masks.put(signature, mask)
         return mask
 
-    def query_mask(self, query: PredicateAwareQuery) -> Optional[np.ndarray]:
-        """Boolean row mask of the query's WHERE clause (``None`` = all rows).
+    def plan_mask(self, plan: QueryPlan) -> Optional[np.ndarray]:
+        """Boolean row mask of the plan's WHERE clause (``None`` = all rows).
 
         Atom masks come from the LRU cache; conjunctions are composed with
         ``&``.  Cached masks are never mutated.
         """
-        atoms = self.predicate_atoms(query)
-        if not atoms:
+        if not plan.atoms:
             return None
         mask: Optional[np.ndarray] = None
-        for signature, predicate in atoms:
-            atom = self._atom_mask(signature, predicate)
-            mask = atom if mask is None else mask & atom
+        for atom in plan.atoms:
+            atom_mask = self._atom_mask(atom.signature(), atom.to_predicate())
+            mask = atom_mask if mask is None else mask & atom_mask
         return mask
 
-    # ------------------------------------------------------------------
-    # Execution
-    # ------------------------------------------------------------------
-    def execute(self, query: PredicateAwareQuery) -> Table:
-        """Run one query; identical to the naive filter -> group-by path."""
-        key = self._result_key(query)
-        if key is not None:
-            cached = self._results.get(key)
-            if cached is not None:
-                self.stats.result_hits += 1
-                return cached
-        return self._execute_plan([query], batched=False)[0]
+    def query_mask(self, query: PredicateAwareQuery) -> Optional[np.ndarray]:
+        """Compatibility wrapper: :meth:`plan_mask` of the lowered WHERE clause."""
+        return self.plan_mask(QueryPlan(atoms=atoms_from_query(query)))
 
-    def execute_batch(self, queries: Sequence[PredicateAwareQuery]) -> List[Table]:
-        """Run many queries, sharing work between them.
-
-        Queries are grouped by (predicate signature, keys): each such plan
-        computes its mask and filtered grouping once, slices each aggregation
-        attribute once, and then evaluates every aggregation function over the
-        shared group slices.  Results come back in input order and are
-        element-wise identical to per-query execution.
-        """
-        queries = list(queries)
-        results: List[Optional[Table]] = [None] * len(queries)
-        plans: "OrderedDict[tuple, List[int]]" = OrderedDict()
-        for i, query in enumerate(queries):
-            signature = self.predicate_signature(query)
-            if signature is None:
-                results[i] = self.execute(query)  # uncacheable WHERE clause
-                continue
-            plans.setdefault((signature, tuple(query.keys)), []).append(i)
-
-        for (_, keys), positions in plans.items():
-            pending: List[int] = []
-            for i in positions:
-                key = self._result_key(queries[i])
-                cached = self._results.get(key) if key is not None else None
-                if cached is not None:
-                    self.stats.result_hits += 1
-                    results[i] = cached
-                else:
-                    pending.append(i)
-            if not pending:
-                continue
-            plan_results = self._execute_plan([queries[i] for i in pending], batched=True)
-            for i, result in zip(pending, plan_results):
-                results[i] = result
-        self.stats.batches += 1
-        return results  # type: ignore[return-value]
-
-    def _execute_plan(self, queries: Sequence[PredicateAwareQuery], batched: bool) -> List[Table]:
-        """Run queries sharing one (predicate, keys) plan.
-
-        The plan's mask, filtered grouping and per-attribute aggregable
-        values are computed once; every query then only pays one grouped
-        kernel evaluation (or, with ``kernels="python"``, its per-group
-        aggregation loop).  Results are written to the result cache but never
-        read from it (callers check the cache first).
-        """
-        first = queries[0]
-        index = self.group_index(first.keys)
-        mask = self.query_mask(first)
-        group_ids, codes, n_groups, row_idx = self._filtered_groups(index, mask)
-        key_columns: Optional[List[Column]] = None
-        aggregators: Dict[str, GroupedAggregator] = {}
-        group_slices: Dict[str, List[np.ndarray]] = {}
-        group_rows: Optional[List[np.ndarray]] = None
-        results: List[Table] = []
-        for query in queries:
-            func_name = normalise_aggregate_name(query.agg_func)
-            if func_name not in AGGREGATE_FUNCTIONS:
-                raise KeyError(f"Unknown aggregation function {query.agg_func!r}")
-            self.table.column(query.agg_attr)  # KeyError for unknown attributes
-            if n_groups == 0:
-                result = self._empty_result(query)
-            else:
-                # Per-attribute preparation (value gather, group-rows split,
-                # aggregator construction) stays outside the aggregation
-                # timer so seconds_aggregating / kernel_seconds measure the
-                # aggregation work alone in both kernel modes and never
-                # double-count what _group_rows books to seconds_grouping.
-                if self.kernels == "vectorized":
-                    aggregator = aggregators.get(query.agg_attr)
-                    if aggregator is None:
-                        values = self._agg_values(query.agg_attr, row_idx)
-                        if row_idx is not None:
-                            values = values[row_idx]
-                        aggregator = GroupedAggregator(codes, values, n_groups)
-                        aggregators[query.agg_attr] = aggregator
-                    start = time.perf_counter()
-                    feature = aggregator.compute(func_name)
-                else:
-                    slices = group_slices.get(query.agg_attr)
-                    if slices is None:
-                        if group_rows is None:
-                            group_rows = self._group_rows(index, codes, n_groups, row_idx)
-                        values = self._agg_values(query.agg_attr, row_idx)
-                        slices = [values[rows] for rows in group_rows]
-                        group_slices[query.agg_attr] = slices
-                    func = AGGREGATE_FUNCTIONS[func_name]
-                    feature = np.empty(len(slices), dtype=np.float64)
-                    start = time.perf_counter()
-                    for g, chunk in enumerate(slices):
-                        feature[g] = func(chunk)
-                self.stats.record_kernel(
-                    func_name,
-                    time.perf_counter() - start,
-                    vectorized=self.kernels == "vectorized",
-                )
-                if key_columns is None:
-                    key_columns = index.key_columns(group_ids)
-                result = Table(
-                    list(key_columns)
-                    + [Column(query.feature_name, feature, dtype=DType.NUMERIC)]
-                )
-            results.append(result)
-            self.stats.queries += 1
-            if batched:
-                self.stats.batched_queries += 1
-            key = self._result_key(query)
-            if key is not None:
-                self.stats.result_misses += 1
-                self._results.put(key, result)
-        return results
-
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-    def _result_key(self, query: PredicateAwareQuery) -> Optional[tuple]:
-        # Built from the dtype-aware atom signatures, not query.signature():
-        # the latter omits predicate_dtypes, so an Equals and a Range over the
-        # same constants would collide and return each other's cached result.
-        predicate_sig = self.predicate_signature(query)
-        if predicate_sig is None:
-            return None
-        try:
-            key = (
-                normalise_aggregate_name(query.agg_func),
-                query.agg_attr,
-                tuple(query.keys),
-                predicate_sig,
-                query.feature_name,
-            )
-            hash(key)
-        except TypeError:
-            return None
-        return key
-
-    def _filtered_groups(self, index: GroupIndex, mask: Optional[np.ndarray]):
+    def filtered_groups(self, index: GroupIndex, mask: Optional[np.ndarray]):
         """Groups surviving *mask*: ``(group_ids, codes, n_groups, row_idx)``.
 
         ``group_ids`` are the original index codes of the surviving groups
@@ -560,13 +492,12 @@ class QueryEngine:
         self.stats.seconds_grouping += time.perf_counter() - start
         return group_ids, codes, group_ids.size, row_idx
 
-    def _group_rows(self, index: GroupIndex, codes: np.ndarray, n_groups: int,
-                    row_idx: Optional[np.ndarray]) -> List[np.ndarray]:
-        """Ascending full-table row positions per group (python kernel path).
+    def group_rows(self, index: GroupIndex, codes: np.ndarray, n_groups: int,
+                   row_idx: Optional[np.ndarray]) -> List[np.ndarray]:
+        """Ascending full-table row positions per group (python backend path).
 
         Materialising one position array per group is what the vectorized
-        kernels avoid; it is only computed on demand for
-        ``kernels="python"``.
+        kernels avoid; it is only computed on demand for the python backend.
         """
         if row_idx is None:
             return index.group_rows
@@ -578,18 +509,107 @@ class QueryEngine:
         self.stats.seconds_grouping += time.perf_counter() - start
         return group_rows
 
-    def _empty_result(self, query: PredicateAwareQuery) -> Table:
+    def empty_result(self, keys: Sequence[str], feature_name: str) -> Table:
         """The empty feature table, constructed directly (no full-table scan)."""
         self.stats.empty_results += 1
         columns: List[Column] = []
-        for name in query.keys:
+        for name in keys:
             source = self.table.column(name)
             if source.is_numeric_like:
                 columns.append(Column(name, np.empty(0, dtype=np.float64), dtype=source.dtype))
             else:
                 columns.append(Column(name, np.empty(0, dtype=object), dtype=DType.CATEGORICAL))
-        columns.append(Column(query.feature_name, np.empty(0, dtype=np.float64), dtype=DType.NUMERIC))
+        columns.append(Column(feature_name, np.empty(0, dtype=np.float64), dtype=DType.NUMERIC))
         return Table(columns)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, query: PredicateAwareQuery) -> Table:
+        """Run one query; identical to the naive filter -> group-by path."""
+        return self.execute_plan(self.plan(query))
+
+    def execute_plan(self, plan: QueryPlan) -> Table:
+        """Run one single-aggregate plan through the result cache + backend."""
+        if len(plan.aggregates) != 1:
+            raise ValueError(
+                "execute_plan expects a single-aggregate plan; "
+                "use execute_plans for a batch"
+            )
+        key = plan.result_key(0)
+        if key is not None:
+            cached = self._results.get(key)
+            if cached is not None:
+                self.stats.result_hits += 1
+                return cached
+        return self._run_fused(plan, batched=False)[0]
+
+    def execute_batch(self, queries: Sequence[PredicateAwareQuery]) -> List[Table]:
+        """Run many queries, sharing work between them.
+
+        Queries are lowered to plans and fused by (predicate signature, keys):
+        each fused plan pays its filter and grouping once and evaluates every
+        aggregation function over the shared groups.  Results come back in
+        input order and are element-wise identical to per-query execution.
+        """
+        return self.execute_plans([self.plan(query) for query in queries])
+
+    def execute_plans(self, plans: Sequence[QueryPlan]) -> List[Table]:
+        """Batched execution of single-aggregate plans (input order preserved)."""
+        plans = list(plans)
+        results: List[Optional[Table]] = [None] * len(plans)
+        fused: "OrderedDict[tuple, List[int]]" = OrderedDict()
+        for i, plan in enumerate(plans):
+            if len(plan.aggregates) != 1:
+                raise ValueError("execute_plans expects single-aggregate plans")
+            group_key = plan.group_key()
+            if group_key is None:
+                results[i] = self.execute_plan(plan)  # uncacheable WHERE clause
+                continue
+            fused.setdefault(group_key, []).append(i)
+
+        for positions in fused.values():
+            pending: List[int] = []
+            for i in positions:
+                key = plans[i].result_key(0)
+                cached = self._results.get(key) if key is not None else None
+                if cached is not None:
+                    self.stats.result_hits += 1
+                    results[i] = cached
+                else:
+                    pending.append(i)
+            if not pending:
+                continue
+            merged = plans[pending[0]].with_aggregates(
+                plans[i].aggregates[0] for i in pending
+            )
+            for i, result in zip(pending, self._run_fused(merged, batched=True)):
+                results[i] = result
+        self.stats.batches += 1
+        return results  # type: ignore[return-value]
+
+    def _run_fused(self, plan: QueryPlan, batched: bool) -> List[Table]:
+        """Run one fused plan on the backend; book stats and the result cache.
+
+        The backend pays the plan's mask / grouping once and returns one
+        table per aggregate spec.  Results are written to the result cache
+        but never read from it (callers check the cache first).
+        """
+        start = time.perf_counter()
+        tables = self.backend.run([plan])
+        seconds = time.perf_counter() - start
+        self.stats.backend_seconds[self.backend_name] = (
+            self.stats.backend_seconds.get(self.backend_name, 0.0) + seconds
+        )
+        for position, (spec, table) in enumerate(zip(plan.aggregates, tables)):
+            self.stats.queries += 1
+            if batched:
+                self.stats.batched_queries += 1
+            key = plan.result_key(position)
+            if key is not None:
+                self.stats.result_misses += 1
+                self._results.put(key, table)
+        return tables
 
     # ------------------------------------------------------------------
     # Cache management
@@ -603,14 +623,19 @@ class QueryEngine:
         return len(self._results)
 
     def clear_caches(self) -> None:
-        """Drop cached masks, results, indexes and aggregable arrays."""
+        """Drop all derived state: masks, results, indexes, aggregable arrays
+        and the backend's private materialisations.  Statistics counters are
+        lifetime counters and are deliberately left untouched; use
+        :meth:`reset` for a fully cold engine."""
         self._masks.clear()
         self._results.clear()
         self._indexes.clear()
         self._agg_arrays.clear()
+        self.backend.clear()
 
     def reset(self) -> None:
-        """Return the engine to a cold state: drop all caches, zero the stats.
+        """Return the engine to a cold state: drop all caches, zero the stats
+        (the backend name survives, see :meth:`EngineStats.reset`).
 
         Timing comparisons between pipeline variants sharing one table must
         call this between variants, or later variants replay earlier traffic
@@ -620,23 +645,40 @@ class QueryEngine:
         self.stats.reset()
 
 
-#: Per-table shared engines, keyed by table identity.  The engine only holds
-#: a weak reference back to its table, so entries (engine, caches and all)
-#: disappear once the table is garbage-collected, and a held-out relevant
-#: table can never see masks or results computed against a different table.
-_ENGINE_REGISTRY: "weakref.WeakKeyDictionary[Table, QueryEngine]" = weakref.WeakKeyDictionary()
+#: Per-table shared engines (one per engine config), keyed by table identity.
+#: Engines only hold a weak reference back to their table, so entries
+#: (engine, caches and all) disappear once the table is garbage-collected,
+#: and a held-out relevant table can never see masks or results computed
+#: against a different table.
+_ENGINE_REGISTRY: "weakref.WeakKeyDictionary[Table, Dict[tuple, QueryEngine]]" = (
+    weakref.WeakKeyDictionary()
+)
 
 
-def engine_for(table: Table) -> QueryEngine:
+def engine_for(
+    table: Table,
+    config: Optional[EngineConfig] = None,
+    *,
+    kernels: Optional[str] = None,
+) -> QueryEngine:
     """The process-wide shared :class:`QueryEngine` bound to *table*.
 
     Keyed by object identity: every distinct ``Table`` object gets its own
-    engine, and all call sites touching the same relevant table share one.
+    engine per :class:`EngineConfig`, and all call sites touching the same
+    relevant table with the same config share one.  The deprecated
+    ``kernels=`` keyword maps onto the numpy / python backends with a
+    ``DeprecationWarning``.
     """
-    engine = _ENGINE_REGISTRY.get(table)
+    config = _resolve_config(config, kernels, None, None)
+    per_table = _ENGINE_REGISTRY.get(table)
+    if per_table is None:
+        per_table = {}
+        _ENGINE_REGISTRY[table] = per_table
+    key = config.cache_key()
+    engine = per_table.get(key)
     if engine is None:
-        engine = QueryEngine(table, weak_table=True)
-        _ENGINE_REGISTRY[table] = engine
+        engine = QueryEngine(table, weak_table=True, config=config)
+        per_table[key] = engine
     return engine
 
 

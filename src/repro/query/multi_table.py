@@ -193,6 +193,7 @@ def flatten_to_engine(
     base: str,
     keys: Sequence[str],
     max_depth: int = 3,
+    config=None,
 ):
     """Flatten *schema* and bind the shared query engine to the result.
 
@@ -200,9 +201,11 @@ def flatten_to_engine(
     same search traffic as the single-table case, so they want the same
     shared :class:`~repro.query.engine.QueryEngine`; binding it right after
     flattening lets every downstream component (template identification, SQL
-    generation, evaluation) reuse one group index and mask cache.
+    generation, evaluation) reuse one group index and mask cache.  *config*
+    (an :class:`~repro.query.engine.EngineConfig`) selects the execution
+    backend and cache sizes; ``None`` uses the process default.
     """
     from repro.query.engine import engine_for
 
     flattened = flatten_relevant_tables(schema, base, keys, max_depth=max_depth)
-    return flattened, engine_for(flattened)
+    return flattened, engine_for(flattened, config=config)

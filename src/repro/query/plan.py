@@ -1,0 +1,218 @@
+"""The logical query-plan IR consumed by execution backends.
+
+A :class:`QueryPlan` is the frozen, backend-independent description of one
+grouped-aggregation query (or of several queries fused into one plan): a
+conjunction of WHERE :class:`PredicateAtom`\\ s, the group-by key columns and
+one :class:`AggregateSpec` per output feature.  ``QueryEngine.plan(query)``
+lowers a :class:`~repro.query.query.PredicateAwareQuery` into a plan, and
+everything downstream of that point -- result caching, batching and the
+:class:`~repro.query.backends.ExecutionBackend` implementations -- consumes
+only plans, never queries.
+
+The plan's canonical signatures subsume the ad-hoc tuples the engine used to
+build inline:
+
+* :meth:`QueryPlan.predicate_signature` -- hashable identity of the WHERE
+  clause (``None`` when an atom's constants are unhashable, i.e. the plan is
+  uncacheable).  Atom signatures are bit-compatible with the historical
+  predicate-mask cache keys, so mask reuse behaves exactly as before.
+* :meth:`QueryPlan.group_key` -- the ``(predicate signature, keys)`` identity
+  ``execute_batch`` fuses plans by.
+* :meth:`QueryPlan.result_key` -- the per-aggregate result-cache key (the old
+  ``_result_key`` tuple), dtype-aware so an ``Equals`` and a ``Range`` over
+  the same constants can never collide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+from repro.dataframe.aggregates import AGGREGATE_FUNCTIONS, normalise_aggregate_name
+from repro.dataframe.column import DType
+from repro.dataframe.predicates import And, Equals, Predicate, Range
+from repro.query.query import PredicateAwareQuery
+
+
+@dataclass(frozen=True)
+class PredicateAtom:
+    """One conjunct of a plan's WHERE clause.
+
+    ``kind`` is ``"eq"`` (categorical equality, ``value`` holds the constant)
+    or ``"range"`` (numeric / datetime interval, ``low`` / ``high`` hold the
+    bounds, either may be ``None`` for a one-sided range).
+    """
+
+    kind: str
+    attr: str
+    value: object = None
+    low: Optional[float] = None
+    high: Optional[float] = None
+    dtype: DType = DType.CATEGORICAL
+
+    def signature(self) -> Optional[tuple]:
+        """Hashable identity of the atom (``None`` = uncacheable constants).
+
+        The tuples are identical to the historical predicate-mask cache keys
+        (``("eq", attr, value)`` / ``("range", attr, low, high)``), so masks
+        cached before a plan was ever built keep hitting.
+        """
+        if self.kind == "eq":
+            sig: tuple = ("eq", self.attr, self.value)
+        else:
+            sig = ("range", self.attr, self.low, self.high)
+        try:
+            hash(sig)
+        except TypeError:
+            return None
+        return sig
+
+    def to_predicate(self) -> Predicate:
+        """The executable numpy predicate for this atom."""
+        if self.kind == "eq":
+            return Equals(self.attr, self.value)
+        return Range(self.attr, low=self.low, high=self.high, dtype=self.dtype)
+
+    def to_sql(self) -> str:
+        """SQL text of the atom (display / logging / SQL-generating backends)."""
+        return self.to_predicate().to_sql()
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One ``(aggregation function, aggregation attribute)`` output column.
+
+    ``func`` is always the canonical aggregate name (``COUNT_DISTINCT``, not
+    ``"count distinct"``); construction through :func:`aggregate_spec` or
+    :meth:`QueryPlan.from_query` normalises and validates it.
+    """
+
+    func: str
+    attr: str
+    feature_name: str = "feature"
+
+
+def aggregate_spec(func: str, attr: str, feature_name: str = "feature") -> AggregateSpec:
+    """Build an :class:`AggregateSpec`, normalising and validating ``func``."""
+    canonical = normalise_aggregate_name(func)
+    if canonical not in AGGREGATE_FUNCTIONS:
+        raise KeyError(f"Unknown aggregation function {func!r}")
+    return AggregateSpec(canonical, attr, feature_name)
+
+
+def atoms_from_query(query: PredicateAwareQuery) -> Tuple[PredicateAtom, ...]:
+    """Lower a query's WHERE constraints into predicate atoms.
+
+    Mirrors :meth:`PredicateAwareQuery.build_predicate`: ``None`` constraints
+    and both-``None`` ranges are dropped; atom order follows the query's
+    predicate insertion order (signatures are order-independent, but mask
+    composition order is preserved for stats stability).
+    """
+    atoms: List[PredicateAtom] = []
+    for attr, constraint in query.predicates.items():
+        dtype = query.predicate_dtypes.get(attr, DType.CATEGORICAL)
+        if constraint is None:
+            continue
+        if dtype is DType.CATEGORICAL:
+            atoms.append(PredicateAtom("eq", attr, value=constraint, dtype=dtype))
+        else:
+            low, high = constraint
+            if low is None and high is None:
+                continue
+            atoms.append(PredicateAtom("range", attr, low=low, high=high, dtype=dtype))
+    return tuple(atoms)
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A frozen logical plan: WHERE atoms, group-by keys, aggregate outputs.
+
+    Plans built by :meth:`from_query` carry exactly one aggregate;
+    ``execute_batch`` fuses plans sharing a :meth:`group_key` into one
+    multi-aggregate plan via :meth:`with_aggregates` so backends pay the
+    filter and grouping once per plan.
+    """
+
+    atoms: Tuple[PredicateAtom, ...] = ()
+    keys: Tuple[str, ...] = ()
+    aggregates: Tuple[AggregateSpec, ...] = field(default_factory=tuple)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_query(cls, query: PredicateAwareQuery) -> "QueryPlan":
+        """Lower one :class:`PredicateAwareQuery` into a single-aggregate plan.
+
+        Raises ``KeyError`` for an unknown aggregation function; unknown
+        attributes are only detected at execution time (they depend on the
+        bound table).
+        """
+        return cls(
+            atoms=atoms_from_query(query),
+            keys=tuple(query.keys),
+            aggregates=(aggregate_spec(query.agg_func, query.agg_attr, query.feature_name),),
+        )
+
+    def with_aggregates(self, aggregates) -> "QueryPlan":
+        """Copy of this plan with the aggregate list replaced (plan fusion)."""
+        return replace(self, aggregates=tuple(aggregates))
+
+    # ------------------------------------------------------------------
+    # Canonical signatures
+    # ------------------------------------------------------------------
+    def predicate_signature(self) -> Optional[tuple]:
+        """Hashable identity of the WHERE clause (``None`` = uncacheable).
+
+        An empty tuple means "no predicate" (every row qualifies).  Sorted by
+        ``repr`` so atom order never affects identity.
+        """
+        signatures = []
+        for atom in self.atoms:
+            signature = atom.signature()
+            if signature is None:
+                return None
+            signatures.append(signature)
+        return tuple(sorted(signatures, key=repr))
+
+    def group_key(self) -> Optional[tuple]:
+        """The ``(predicate signature, keys)`` identity plans are fused by."""
+        signature = self.predicate_signature()
+        if signature is None:
+            return None
+        return (signature, self.keys)
+
+    def result_key(self, position: int = 0) -> Optional[tuple]:
+        """Result-cache key of the aggregate at *position* (``None`` = uncacheable)."""
+        signature = self.predicate_signature()
+        if signature is None:
+            return None
+        spec = self.aggregates[position]
+        return (spec.func, spec.attr, self.keys, signature, spec.feature_name)
+
+    def signature(self) -> Optional[tuple]:
+        """Canonical identity of the whole plan (predicate, keys, aggregates)."""
+        signature = self.predicate_signature()
+        if signature is None:
+            return None
+        return (signature, self.keys, self.aggregates)
+
+    # ------------------------------------------------------------------
+    # Renderings
+    # ------------------------------------------------------------------
+    def build_predicate(self) -> Predicate:
+        """The combined WHERE predicate (an empty conjunction selects all rows)."""
+        return And([atom.to_predicate() for atom in self.atoms])
+
+    def to_sql(self, relation_name: str = "R") -> str:
+        """Render the plan as SQL text, one select list entry per aggregate."""
+        keys = ", ".join(self.keys)
+        select = ", ".join(
+            f"{spec.func}({spec.attr}) AS {spec.feature_name}" for spec in self.aggregates
+        )
+        where = self.build_predicate().to_sql()
+        sql = f"SELECT {keys}, {select}\nFROM {relation_name}\n"
+        if where != "TRUE":
+            sql += f"WHERE {where}\n"
+        sql += f"GROUP BY {keys}"
+        return sql

@@ -106,6 +106,38 @@ class TestFeatAugFacade:
         }
         assert set(result.templates[0].template.agg_attrs) == numeric
 
+    def test_engine_stats_expose_backend(self, facade, tiny_student):
+        bundle = tiny_student
+        result = facade.augment(
+            bundle.train, bundle.relevant,
+            predicate_attrs=["event_type"], agg_attrs=bundle.agg_attrs, n_features=2,
+        )
+        from repro.query.engine import default_backend_name
+
+        assert result.engine_stats["backend"] == default_backend_name()
+        # The engine is shared per table, so earlier runs may have warmed the
+        # result cache: count executed and cache-served queries together.
+        assert result.engine_stats["queries"] + result.engine_stats["result_hits"] > 0
+        assert default_backend_name() in result.engine_stats["backend_seconds"]
+
+    def test_engine_backend_config_selects_the_backend(self, tiny_student, fast_config):
+        """FeatAugConfig.engine_backend is threaded through to the engine."""
+        bundle = tiny_student
+        feataug = FeatAug(
+            label=bundle.label_col, keys=bundle.keys, task=bundle.task, model="LR",
+            config=fast_config.with_overrides(engine_backend="python"),
+        )
+        result = feataug.augment(
+            bundle.train, bundle.relevant,
+            predicate_attrs=["event_type"], agg_attrs=bundle.agg_attrs, n_features=1,
+        )
+        assert result.engine_stats["backend"] == "python"
+        assert result.engine_stats["backend_seconds"].get("python", 0.0) > 0.0
+
+    def test_unknown_engine_backend_rejected(self, fast_config):
+        with pytest.raises(ValueError):
+            fast_config.with_overrides(engine_backend="duckdb")
+
     def test_timings_accumulate(self, facade, tiny_student):
         bundle = tiny_student
         result = facade.augment(

@@ -25,6 +25,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--dataset", "imagenet"])
 
+    def test_engine_backend_threads_into_config(self):
+        from repro.cli import _config_from_args
+
+        args = build_parser().parse_args(
+            ["run", "--dataset", "student", "--engine-backend", "sqlite"]
+        )
+        assert _config_from_args(args).engine_backend == "sqlite"
+        # Default: follow the process default (env var / numpy).
+        args = build_parser().parse_args(["run", "--dataset", "student"])
+        assert _config_from_args(args).engine_backend is None
+
+    def test_unknown_engine_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--dataset", "student", "--engine-backend", "duckdb"]
+            )
+
 
 class TestCommands:
     def test_datasets_command(self, capsys):

@@ -1,17 +1,22 @@
-"""Executor-equivalence suite: the engine's fast paths vs the naive path.
+"""Executor-equivalence suite: every registered backend vs the naive path.
 
-``QueryEngine.execute`` / ``execute_batch`` must produce tables element-wise
-**bit-for-bit identical** (same columns, dtypes and values, NaN included) to
-``execute_query_naive`` for every query the search can generate: NaN keys,
+``QueryEngine.execute`` / ``execute_batch`` must produce tables equivalent to
+``execute_query_naive`` for every query the search can generate -- NaN keys,
 empty filter results, categorical aggregation attributes and all 15 aggregate
-functions -- in **both** aggregation kernel modes (the default vectorized
-grouped kernels and the per-group ``kernels="python"`` loop).
+functions -- on **every registered execution backend**.  The suite reads the
+backend registry, so a newly registered backend inherits the whole
+equivalence suite for free.
 
-Bit-identity across the vectorized path is possible because both it and the
-Python reference honour the accumulation-order contract of
-:mod:`repro.dataframe.aggregates` (strict left-to-right sums, the order
-``np.bincount`` accumulates in), so no float tolerance is needed anywhere.
-The engine is an optimisation layer only -- this suite is what locks that in.
+Two equivalence bars:
+
+* the in-process backends (``numpy``, ``python``) must be element-wise
+  **bit-for-bit identical** (same columns, dtypes and values, NaN included):
+  both honour the accumulation-order contract of
+  :mod:`repro.dataframe.aggregates` (strict left-to-right sums, the order
+  ``np.bincount`` accumulates in), so no float tolerance is needed;
+* backends that own their storage and re-accumulate floats in their own
+  order (``sqlite``) are held to value equality within ``1e-9`` on feature
+  values, with key columns, dtypes, group order and NaN placement exact.
 """
 
 import numpy as np
@@ -21,23 +26,53 @@ from hypothesis import given, settings, strategies as st
 from repro.dataframe.aggregates import AGGREGATE_FUNCTIONS
 from repro.dataframe.column import Column, DType
 from repro.dataframe.table import Table
-from repro.query.engine import KERNEL_MODES, QueryEngine
+from repro.query.backends import backend_names
+from repro.query.engine import EngineConfig, QueryEngine, default_backend_name
 from repro.query.executor import execute_query, execute_query_naive
 from repro.query.query import PredicateAwareQuery
 
 AGG_FUNCS = list(AGGREGATE_FUNCTIONS)
 PREDICATE_DTYPES = {"cat": DType.CATEGORICAL, "num": DType.NUMERIC}
 
+#: Every registered backend runs the full suite.
+BACKENDS = tuple(backend_names())
+
+#: Backends whose results must match the reference bit-for-bit.  Everything
+#: else (storage-owning backends, third-party registrations) is held to
+#: value equality within this tolerance on the feature column.
+EXACT_BACKENDS = ("numpy", "python")
+VALUE_TOLERANCE = 1e-9
+
 finite_floats = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False)
 
 
-def assert_tables_identical(actual: Table, expected: Table) -> None:
-    """Same column names/order, same dtypes, element-wise equal (NaN == NaN)."""
+def engine_with(table: Table, backend: str) -> QueryEngine:
+    return QueryEngine(table, config=EngineConfig(backend=backend))
+
+
+def assert_tables_match(actual: Table, expected: Table, exact: bool = True) -> None:
+    """Same column names/order, same dtypes; values exact or within 1e-9.
+
+    Group order and NaN placement are always exact -- only float magnitudes
+    may differ (by accumulation order) on non-exact backends.
+    """
     assert actual.column_names == expected.column_names
     for name in expected.column_names:
         left, right = actual.column(name), expected.column(name)
         assert left.dtype is right.dtype, f"{name}: {left.dtype} != {right.dtype}"
-        assert left == right, f"column {name!r} differs"
+        if exact or not left.is_numeric_like:
+            assert left == right, f"column {name!r} differs"
+        else:
+            a, b = left.values, right.values
+            assert a.shape == b.shape, f"column {name!r}: shape mismatch"
+            assert np.array_equal(np.isnan(a), np.isnan(b)), f"column {name!r}: NaN placement"
+            assert np.allclose(a, b, rtol=0.0, atol=VALUE_TOLERANCE, equal_nan=True), (
+                f"column {name!r} differs beyond {VALUE_TOLERANCE}"
+            )
+
+
+def assert_backend_matches_naive(backend: str, actual: Table, expected: Table) -> None:
+    assert_tables_match(actual, expected, exact=backend in EXACT_BACKENDS)
 
 
 @st.composite
@@ -72,7 +107,8 @@ def random_queries(draw):
     keys = draw(st.sampled_from([("k_num",), ("k_cat",), ("k_num", "k_cat")]))
     agg_func = draw(st.sampled_from(AGG_FUNCS))
     # Include a categorical aggregation attribute: its integer coding depends
-    # on the filter, which is exactly the subtle case the engine must honour.
+    # on the filter, which is exactly the subtle case every backend must
+    # honour (sqlite recodes collected groups by first appearance).
     agg_attr = draw(st.sampled_from(["val", "num", "cat"]))
     predicates = {}
     if draw(st.booleans()):
@@ -89,58 +125,59 @@ def random_queries(draw):
     return PredicateAwareQuery(agg_func, agg_attr, keys, predicates, dtypes)
 
 
-@pytest.mark.parametrize("kernels", KERNEL_MODES)
+@pytest.mark.parametrize("backend", BACKENDS)
 class TestExecuteEquivalence:
     @given(table=random_tables(), query=random_queries())
-    @settings(max_examples=60, deadline=None)
-    def test_engine_matches_naive(self, kernels, table, query):
-        engine = QueryEngine(table, kernels=kernels)
+    @settings(max_examples=50, deadline=None)
+    def test_engine_matches_naive(self, backend, table, query):
+        engine = engine_with(table, backend)
         expected = execute_query_naive(query, table)
-        assert_tables_identical(engine.execute(query), expected)
+        assert_backend_matches_naive(backend, engine.execute(query), expected)
         # Second run is served from the result cache and must be identical too.
-        assert_tables_identical(engine.execute(query), expected)
+        assert_backend_matches_naive(backend, engine.execute(query), expected)
 
     @given(table=random_tables(), queries=st.lists(random_queries(), min_size=1, max_size=6))
-    @settings(max_examples=40, deadline=None)
-    def test_batch_matches_naive(self, kernels, table, queries):
-        engine = QueryEngine(table, kernels=kernels)
+    @settings(max_examples=30, deadline=None)
+    def test_batch_matches_naive(self, backend, table, queries):
+        engine = engine_with(table, backend)
         results = engine.execute_batch(queries)
         assert len(results) == len(queries)
         for query, result in zip(queries, results):
-            assert_tables_identical(result, execute_query_naive(query, table))
+            assert_backend_matches_naive(backend, result, execute_query_naive(query, table))
 
 
 class TestCompatibilityWrapper:
     @given(table=random_tables(), query=random_queries())
     @settings(max_examples=30, deadline=None)
     def test_compatibility_wrapper_matches_naive(self, table, query):
-        # execute_query goes through the shared (vectorized) engine.
-        assert_tables_identical(
-            execute_query(query, table), execute_query_naive(query, table)
+        # execute_query goes through the shared engine on the process-default
+        # backend (possibly overridden by $REPRO_ENGINE_BACKEND).
+        assert_backend_matches_naive(
+            default_backend_name(),
+            execute_query(query, table),
+            execute_query_naive(query, table),
         )
 
 
-class TestKernelPathsAgree:
-    """Both kernel modes produce bit-identical tables for the same queries."""
+class TestBackendsAgree:
+    """All backends produce equivalent tables for the same batch."""
 
     @given(table=random_tables(), queries=st.lists(random_queries(), min_size=1, max_size=6))
-    @settings(max_examples=40, deadline=None)
-    def test_vectorized_agrees_with_python_kernels(self, table, queries):
-        vectorized = QueryEngine(table, kernels="vectorized")
-        python = QueryEngine(table, kernels="python")
-        for got, want in zip(
-            vectorized.execute_batch(queries), python.execute_batch(queries)
-        ):
-            assert_tables_identical(got, want)
-        assert python.stats.vectorized_aggregations == 0
-        assert vectorized.stats.python_aggregations == 0
-
-    def test_unknown_kernel_mode_rejected(self):
-        with pytest.raises(ValueError):
-            QueryEngine(Table([Column("k", [1.0])]), kernels="duckdb")
+    @settings(max_examples=30, deadline=None)
+    def test_all_backends_agree_on_batches(self, table, queries):
+        engines = {backend: engine_with(table, backend) for backend in BACKENDS}
+        batches = {backend: engine.execute_batch(queries) for backend, engine in engines.items()}
+        reference = batches["numpy"]
+        for backend in BACKENDS:
+            exact = backend in EXACT_BACKENDS
+            for got, want in zip(batches[backend], reference):
+                assert_tables_match(got, want, exact=exact)
+        # The legacy kernel counters track exactly the two in-process paths.
+        assert engines["python"].stats.vectorized_aggregations == 0
+        assert engines["numpy"].stats.python_aggregations == 0
 
 
-@pytest.mark.parametrize("kernels", KERNEL_MODES)
+@pytest.mark.parametrize("backend", BACKENDS)
 class TestAllAggregateFunctions:
     @pytest.fixture
     def table(self, rng):
@@ -166,38 +203,43 @@ class TestAllAggregateFunctions:
         )
 
     @pytest.mark.parametrize("agg_func", AGG_FUNCS)
-    def test_numeric_attribute(self, kernels, table, agg_func):
-        engine = QueryEngine(table, kernels=kernels)
+    def test_numeric_attribute(self, backend, table, agg_func):
+        engine = engine_with(table, backend)
         query = PredicateAwareQuery(
             agg_func, "val", ("key",), {"cat": "u"}, {"cat": DType.CATEGORICAL}
         )
-        assert_tables_identical(engine.execute(query), execute_query_naive(query, table))
+        assert_backend_matches_naive(
+            backend, engine.execute(query), execute_query_naive(query, table)
+        )
 
     @pytest.mark.parametrize("agg_func", AGG_FUNCS)
-    def test_categorical_attribute_under_filter(self, kernels, table, agg_func):
+    def test_categorical_attribute_under_filter(self, backend, table, agg_func):
         """Filtered categorical coding (MODE returns codes!) must match."""
-        engine = QueryEngine(table, kernels=kernels)
+        engine = engine_with(table, backend)
         query = PredicateAwareQuery(
             agg_func, "cat", ("key",), {"val": (-0.4, 2.0)}, {"val": DType.NUMERIC}
         )
-        assert_tables_identical(engine.execute(query), execute_query_naive(query, table))
+        assert_backend_matches_naive(
+            backend, engine.execute(query), execute_query_naive(query, table)
+        )
 
     @pytest.mark.parametrize("agg_func", AGG_FUNCS)
-    def test_batch_of_all_functions_shares_one_plan(self, kernels, table, agg_func):
-        engine = QueryEngine(table, kernels=kernels)
+    def test_batch_of_all_functions_shares_one_plan(self, backend, table, agg_func):
+        engine = engine_with(table, backend)
         queries = [
             PredicateAwareQuery(f, "val", ("key",), {"cat": "v"}, {"cat": DType.CATEGORICAL})
             for f in AGG_FUNCS
         ]
         results = engine.execute_batch(queries)
         target = AGG_FUNCS.index(agg_func)
-        assert_tables_identical(
-            results[target], execute_query_naive(queries[target], table)
+        assert_backend_matches_naive(
+            backend, results[target], execute_query_naive(queries[target], table)
         )
 
 
 class TestEdgeCases:
-    def test_nan_keys_form_their_own_group(self):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_nan_keys_form_their_own_group(self, backend):
         table = Table(
             [
                 Column("key", [1.0, float("nan"), 1.0, float("nan")], dtype=DType.NUMERIC),
@@ -205,13 +247,13 @@ class TestEdgeCases:
             ]
         )
         query = PredicateAwareQuery("SUM", "val", ("key",))
-        result = QueryEngine(table).execute(query)
-        assert_tables_identical(result, execute_query_naive(query, table))
+        result = engine_with(table, backend).execute(query)
+        assert_backend_matches_naive(backend, result, execute_query_naive(query, table))
         assert result.num_rows == 2
         assert np.isnan(result.column("key").values).sum() == 1
 
-    @pytest.mark.parametrize("kernels", KERNEL_MODES)
-    def test_empty_filter_result(self, kernels, logs_table):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_empty_filter_result(self, backend, logs_table):
         query = PredicateAwareQuery(
             "AVG",
             "pprice",
@@ -219,15 +261,15 @@ class TestEdgeCases:
             {"department": "does-not-exist"},
             {"department": DType.CATEGORICAL},
         )
-        engine = QueryEngine(logs_table, kernels=kernels)
+        engine = engine_with(logs_table, backend)
         result = engine.execute(query)
-        assert_tables_identical(result, execute_query_naive(query, logs_table))
+        assert_backend_matches_naive(backend, result, execute_query_naive(query, logs_table))
         assert result.num_rows == 0
         assert result.column_names == ["cname", "feature"]
         assert engine.stats.empty_results == 1
 
-    @pytest.mark.parametrize("kernels", KERNEL_MODES)
-    def test_empty_table(self, kernels):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_empty_table(self, backend):
         table = Table(
             [
                 Column("key", [], dtype=DType.NUMERIC),
@@ -235,12 +277,14 @@ class TestEdgeCases:
             ]
         )
         query = PredicateAwareQuery("COUNT", "val", ("key",))
-        assert_tables_identical(
-            QueryEngine(table, kernels=kernels).execute(query),
+        assert_backend_matches_naive(
+            backend,
+            engine_with(table, backend).execute(query),
             execute_query_naive(query, table),
         )
 
-    def test_datetime_and_multi_key(self, logs_table):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_datetime_and_multi_key(self, backend, logs_table):
         from repro.dataframe.column import parse_datetime
 
         query = PredicateAwareQuery(
@@ -250,27 +294,41 @@ class TestEdgeCases:
             {"timestamp": (parse_datetime("2023-05-01"), None)},
             {"timestamp": DType.DATETIME},
         )
-        assert_tables_identical(
-            QueryEngine(logs_table).execute(query), execute_query_naive(query, logs_table)
+        assert_backend_matches_naive(
+            backend,
+            engine_with(logs_table, backend).execute(query),
+            execute_query_naive(query, logs_table),
         )
 
-    @pytest.mark.parametrize("kernels", KERNEL_MODES)
-    def test_unknown_aggregate_raises(self, kernels, logs_table):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_unknown_aggregate_raises(self, backend, logs_table):
         query = PredicateAwareQuery("NOPE", "pprice", ("cname",))
         with pytest.raises(KeyError):
-            QueryEngine(logs_table, kernels=kernels).execute(query)
+            engine_with(logs_table, backend).execute(query)
 
-    @pytest.mark.parametrize("kernels", KERNEL_MODES)
-    def test_unknown_attribute_raises(self, kernels, logs_table):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_unknown_attribute_raises(self, backend, logs_table):
         query = PredicateAwareQuery("SUM", "missing", ("cname",))
         with pytest.raises(KeyError):
-            QueryEngine(logs_table, kernels=kernels).execute(query)
+            engine_with(logs_table, backend).execute(query)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_range_predicate_on_categorical_raises(self, backend, logs_table):
+        query = PredicateAwareQuery(
+            "SUM", "pprice", ("cname",), {"department": (0.0, 1.0)}, {"department": DType.NUMERIC}
+        )
+        with pytest.raises(TypeError):
+            engine_with(logs_table, backend).execute(query)
+        with pytest.raises(TypeError):
+            execute_query_naive(query, logs_table)
 
     def test_kernel_timing_lands_in_stats(self, logs_table):
         engine = QueryEngine(logs_table)
         engine.execute(PredicateAwareQuery("SUM", "pprice", ("cname",)))
-        assert engine.stats.vectorized_aggregations == 1
         assert set(engine.stats.kernel_seconds) == {"SUM"}
         assert engine.stats.kernel_seconds["SUM"] >= 0.0
+        assert engine.stats.backend == engine.backend_name
+        assert list(engine.stats.backend_seconds) == [engine.backend_name]
         delta = engine.stats.delta_since(engine.stats.as_dict())
         assert delta["kernel_seconds"]["SUM"] == 0.0
+        assert delta["backend"] == engine.backend_name

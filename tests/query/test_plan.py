@@ -1,0 +1,135 @@
+"""Unit tests for the logical query-plan IR (repro.query.plan)."""
+
+import pytest
+
+from repro.dataframe.column import DType
+from repro.dataframe.predicates import Equals, Range
+from repro.query.plan import (
+    AggregateSpec,
+    PredicateAtom,
+    QueryPlan,
+    aggregate_spec,
+    atoms_from_query,
+)
+from repro.query.query import PredicateAwareQuery
+
+
+def make_query(**overrides) -> PredicateAwareQuery:
+    defaults = dict(
+        agg_func="avg",
+        agg_attr="price",
+        keys=("user",),
+        predicates={"dept": "toys", "level": (1.0, 5.0)},
+        predicate_dtypes={"dept": DType.CATEGORICAL, "level": DType.NUMERIC},
+        feature_name="f0",
+    )
+    defaults.update(overrides)
+    return PredicateAwareQuery(**defaults)
+
+
+class TestLowering:
+    def test_from_query_normalises_and_captures_everything(self):
+        plan = QueryPlan.from_query(make_query(agg_func="count distinct"))
+        assert plan.keys == ("user",)
+        assert plan.aggregates == (AggregateSpec("COUNT_DISTINCT", "price", "f0"),)
+        kinds = {(atom.kind, atom.attr) for atom in plan.atoms}
+        assert kinds == {("eq", "dept"), ("range", "level")}
+
+    def test_none_and_unbounded_constraints_are_dropped(self):
+        query = make_query(
+            predicates={"dept": None, "level": (None, None), "size": (2.0, None)},
+            predicate_dtypes={"dept": DType.CATEGORICAL, "level": DType.NUMERIC,
+                              "size": DType.NUMERIC},
+        )
+        plan = QueryPlan.from_query(query)
+        assert [atom.attr for atom in plan.atoms] == ["size"]
+
+    def test_unknown_aggregate_rejected_at_plan_build(self):
+        with pytest.raises(KeyError):
+            QueryPlan.from_query(make_query(agg_func="NOPE"))
+        with pytest.raises(KeyError):
+            aggregate_spec("NOPE", "price")
+
+    def test_atoms_lower_to_the_same_predicates_as_the_query(self):
+        query = make_query()
+        atoms = atoms_from_query(query)
+        rendered = {atom.to_predicate().to_sql() for atom in atoms}
+        assert rendered == {p.to_sql() for p in query.build_predicate().predicates}
+        assert isinstance(atoms[0].to_predicate(), (Equals, Range))
+
+
+class TestSignatures:
+    def test_predicate_signature_is_order_independent(self):
+        a = make_query(predicates={"dept": "toys", "level": (1.0, 5.0)})
+        b = make_query(predicates={"level": (1.0, 5.0), "dept": "toys"})
+        assert (
+            QueryPlan.from_query(a).predicate_signature()
+            == QueryPlan.from_query(b).predicate_signature()
+        )
+
+    def test_signature_matches_historical_mask_cache_keys(self):
+        plan = QueryPlan.from_query(make_query())
+        signatures = {atom.signature() for atom in plan.atoms}
+        assert signatures == {("eq", "dept", "toys"), ("range", "level", 1.0, 5.0)}
+
+    def test_empty_where_clause_is_the_empty_tuple(self):
+        plan = QueryPlan.from_query(make_query(predicates={}, predicate_dtypes={}))
+        assert plan.predicate_signature() == ()
+        assert plan.group_key() == ((), ("user",))
+
+    def test_unhashable_constant_makes_the_plan_uncacheable(self):
+        query = make_query(predicates={"dept": ["unhashable"]})
+        plan = QueryPlan.from_query(query)
+        assert plan.predicate_signature() is None
+        assert plan.group_key() is None
+        assert plan.result_key() is None
+        assert plan.signature() is None
+
+    def test_result_key_distinguishes_predicate_dtypes(self):
+        """The dtype decides eq vs range, so the same constants never collide."""
+        range_query = make_query(predicates={"level": (1.0, 5.0)},
+                                 predicate_dtypes={"level": DType.NUMERIC})
+        equals_query = make_query(predicates={"level": (1.0, 5.0)},
+                                  predicate_dtypes={})  # defaults to CATEGORICAL
+        assert (
+            QueryPlan.from_query(range_query).result_key()
+            != QueryPlan.from_query(equals_query).result_key()
+        )
+
+    def test_result_key_distinguishes_every_component(self):
+        base = QueryPlan.from_query(make_query())
+        for overrides in (
+            dict(agg_func="SUM"),
+            dict(agg_attr="qty"),
+            dict(keys=("user", "item")),
+            dict(feature_name="f1"),
+            dict(predicates={"dept": "books"}),
+        ):
+            other = QueryPlan.from_query(make_query(**overrides))
+            assert base.result_key() != other.result_key()
+
+
+class TestFusionAndRendering:
+    def test_with_aggregates_fuses_plans(self):
+        plan = QueryPlan.from_query(make_query())
+        fused = plan.with_aggregates(
+            [plan.aggregates[0], AggregateSpec("SUM", "qty", "f1")]
+        )
+        assert fused.atoms == plan.atoms
+        assert fused.keys == plan.keys
+        assert len(fused.aggregates) == 2
+        assert fused.result_key(1) == ("SUM", "qty", ("user",), plan.predicate_signature(), "f1")
+
+    def test_plans_are_frozen(self):
+        plan = QueryPlan.from_query(make_query())
+        with pytest.raises(AttributeError):
+            plan.keys = ("other",)
+
+    def test_to_sql_mirrors_the_query_rendering(self):
+        query = make_query()
+        plan = QueryPlan.from_query(query)
+        assert plan.to_sql() == query.to_sql().replace("avg(", "AVG(")
+
+    def test_atom_to_sql(self):
+        atom = PredicateAtom("eq", "dept", value="toys")
+        assert atom.to_sql() == "dept = 'toys'"
