@@ -19,12 +19,20 @@ stats are printed for the Fig. 5 optimisation story.
 sqlite backend to compare the execution backends head to head (equivalence
 within 1e-9 asserted; timings reported, no speed bar -- sqlite pays
 materialisation and generated-SQL costs by design).
+``test_sharded_vs_serial_batch`` replays the batch with 4 plan-shard workers
+(and, for reference, 4 group-range workers): bit-identical results asserted
+always; the >= 1.8x speed bar applies on hosts with >= 4 cores (thread
+parallelism cannot beat 1x on fewer -- the run reports its numbers and
+skips the bar there).
 """
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Dict, List
+
+import pytest
 
 import numpy as np
 
@@ -260,6 +268,87 @@ def test_sqlite_vs_numpy_backend():
     )
     print(text)
     write_result("bench_engine", text, append=True)
+
+
+def test_sharded_vs_serial_batch():
+    """Sharded parallel execute_batch vs serial, 4 workers, same 50 queries.
+
+    The batch fuses into 5 plans; the plan-level scheduler assigns them
+    longest-first across 4 worker backends, so the acceptance bar is a
+    >= 1.8x wall-clock speedup at 4 workers -- asserted on hosts with at
+    least 4 cores (thread parallelism is physically capped at ~1x below
+    that; the run still executes, asserts bit-identical results at every
+    worker count, reports its numbers, and skips only the speed bar).
+    """
+    relevant = make_student(n_sessions=400, events_per_session=150, seed=0).relevant
+    queries = make_queries()
+
+    def run_best_of(config: EngineConfig, repeats: int = 3):
+        """Best-of-N wall clock with a cold engine per repetition.
+
+        Shared CI runners jitter; the minimum over a few cold runs is the
+        stable estimate of each variant's cost (warm caches would make
+        later repetitions near-free, hence a fresh engine every time).
+        """
+        best, results, engine = float("inf"), None, None
+        for _ in range(repeats):
+            engine = QueryEngine(relevant, config=config)
+            start = time.perf_counter()
+            results = engine.execute_batch(queries)
+            best = min(best, time.perf_counter() - start)
+        return best, results, engine
+
+    serial_seconds, serial_results, _ = run_best_of(EngineConfig(num_workers=1))
+    plan_seconds, plan_results, plan_engine = run_best_of(
+        EngineConfig(num_workers=4, shard_strategy="plan")
+    )
+    group_seconds, group_results, group_engine = run_best_of(
+        EngineConfig(num_workers=4, shard_strategy="group")
+    )
+
+    # Sharded execution must be bit-for-bit identical to serial execution.
+    for serial_table, plan_table, group_table in zip(
+        serial_results, plan_results, group_results
+    ):
+        assert_feature_tables_match(serial_table, plan_table)
+        assert_feature_tables_match(serial_table, group_table)
+
+    # The parallel paths genuinely ran (not silently degraded to serial).
+    # 5 fused plans dispatched; heavy ones split into aggregate-spec units.
+    assert plan_engine.stats.sharded_batches >= 1
+    assert plan_engine.stats.plan_shards >= 5
+    assert group_engine.stats.group_shards > 0
+
+    plan_speedup = serial_seconds / plan_seconds
+    group_speedup = serial_seconds / group_seconds
+    rows = [
+        ["serial (1 worker)", round(serial_seconds, 4), 1.0],
+        ["plan-sharded (4 workers)", round(plan_seconds, 4), round(plan_speedup, 2)],
+        ["group-sharded (4 workers)", round(group_seconds, 4), round(group_speedup, 2)],
+    ]
+    stats = plan_engine.stats
+    text = "Sharded execution micro-benchmark (50-query batch, 4 workers)\n"
+    text += render_table(["variant", "seconds", "speedup vs serial"], rows)
+    text += (
+        f"\nplan shards: {stats.plan_shards}, worker utilisation: "
+        f"{stats.worker_utilisation:.2f}, shard seconds: "
+        + ", ".join(f"{k}={v:.4f}s" for k, v in sorted(stats.shard_seconds.items()))
+        + f"\ncpu cores: {os.cpu_count()}"
+    )
+    print(text)
+    write_result("bench_engine", text, append=True)
+
+    cores = os.cpu_count() or 1
+    if cores < 4:
+        pytest.skip(
+            f"sharded speed bar needs >= 4 cores, host has {cores}; "
+            f"measured plan={plan_speedup:.2f}x, group={group_speedup:.2f}x "
+            f"(results verified bit-identical)"
+        )
+    assert plan_speedup >= 1.8, (
+        f"expected >= 1.8x from plan-level sharding at 4 workers, "
+        f"got {plan_speedup:.2f}x"
+    )
 
 
 def test_engine_result_cache_repeated_queries():

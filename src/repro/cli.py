@@ -29,6 +29,7 @@ from repro.experiments.reporting import render_table
 from repro.experiments.runner import METHOD_NAMES, run_method
 from repro.ml.model_zoo import MODEL_NAMES
 from repro.query.backends import backend_names
+from repro.query.sharding import SHARD_STRATEGIES
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -43,6 +44,20 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="query-engine execution backend (default: $REPRO_ENGINE_BACKEND or numpy)",
     )
+    parser.add_argument(
+        "--engine-workers",
+        type=int,
+        default=None,
+        help="query-engine worker threads for sharded parallel execution "
+        "(default: $REPRO_ENGINE_WORKERS or 1 = serial)",
+    )
+    parser.add_argument(
+        "--engine-shard-strategy",
+        choices=list(SHARD_STRATEGIES),
+        default=None,
+        help="how a multi-worker engine shards: 'plan' partitions a batch's "
+        "fused plans across workers, 'group' splits one plan's group ranges",
+    )
     parser.add_argument("--seed", type=int, default=0, help="random seed")
 
 
@@ -54,6 +69,8 @@ def _config_from_args(args: argparse.Namespace) -> FeatAugConfig:
         search_iterations=args.search_iterations,
         proxy=args.proxy,
         engine_backend=args.engine_backend,
+        engine_workers=args.engine_workers,
+        engine_shard_strategy=args.engine_shard_strategy,
         seed=args.seed,
     )
 

@@ -73,6 +73,15 @@ class FeatAugConfig:
     #: :func:`repro.query.register_backend`); ``None`` uses the process
     #: default (``$REPRO_ENGINE_BACKEND`` or "numpy").
     engine_backend: str | None = None
+    #: worker threads of the shared query engine (sharded parallel
+    #: execution); ``None`` uses the process default
+    #: (``$REPRO_ENGINE_WORKERS`` or 1 = serial).
+    engine_workers: int | None = None
+    #: shard strategy with ``engine_workers > 1``: "plan" partitions a
+    #: batch's fused plans across workers, "group" splits one plan's
+    #: group-code space into contiguous ranges; ``None`` keeps the engine
+    #: default ("plan").
+    engine_shard_strategy: str | None = None
 
     # ------------------------------------------------------------------
     # Proxy and evaluation
@@ -101,12 +110,34 @@ class FeatAugConfig:
             raise ValueError(f"Unknown proxy {self.proxy!r}")
         if self.search_strategy not in ("tpe", "random"):
             raise ValueError(f"Unknown search strategy {self.search_strategy!r}")
-        if self.engine_backend is not None:
-            # Delegate to the engine-config validation so the backend check
-            # (and its error message) has exactly one implementation.
-            from repro.query.engine import EngineConfig
+        if (
+            self.engine_backend is not None
+            or self.engine_workers is not None
+            or self.engine_shard_strategy is not None
+        ):
+            # Delegate to the engine-config validation so the backend /
+            # worker / strategy checks (and their error messages) have
+            # exactly one implementation.
+            self.engine_config().validate()
 
-            EngineConfig(backend=self.engine_backend).validate()
+    def engine_config(self):
+        """The :class:`repro.query.engine.EngineConfig` the run's shared
+        query engine is built with.
+
+        Every component that resolves the run's engine (the FeatAug facade,
+        the scaling sweeps' cold-engine resets) must go through this, or a
+        partially-mirrored config would target a different engine in the
+        per-(table, config) registry.
+        """
+        from repro.query.engine import EngineConfig
+
+        kwargs: dict = {
+            "backend": self.engine_backend,
+            "num_workers": self.engine_workers,
+        }
+        if self.engine_shard_strategy is not None:
+            kwargs["shard_strategy"] = self.engine_shard_strategy
+        return EngineConfig(**kwargs)
 
     def with_overrides(self, **kwargs) -> "FeatAugConfig":
         """Copy of this config with specific fields replaced."""

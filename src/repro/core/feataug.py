@@ -31,7 +31,7 @@ from repro.ml.base import BaseEstimator
 from repro.ml.model_zoo import make_model
 from repro.ml.preprocessing import train_valid_test_split
 from repro.query.augment import apply_queries, generated_feature_names
-from repro.query.engine import EngineConfig, engine_for
+from repro.query.engine import engine_for
 from repro.query.query import PredicateAwareQuery
 from repro.query.template import QueryTemplate
 
@@ -155,10 +155,10 @@ class FeatAug:
         # One shared execution engine for the whole run: template search, SQL
         # generation and final materialisation all hit the same group index
         # and predicate-mask cache.  ``config.engine_backend`` selects the
-        # execution backend (None = process default).
-        engine = engine_for(
-            relevant_table, config=EngineConfig(backend=self.config.engine_backend)
-        )
+        # execution backend, ``config.engine_workers`` /
+        # ``config.engine_shard_strategy`` the sharded parallel execution
+        # (None = process defaults).
+        engine = engine_for(relevant_table, config=self.config.engine_config())
         # Engines are shared per table across runs; report this run's traffic
         # only, not the engine's lifetime counters.
         stats_baseline = engine.stats.as_dict()

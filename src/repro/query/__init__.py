@@ -18,6 +18,11 @@ Implements the paper's core abstractions (Section III):
   kernels, the default), ``"python"`` (per-group reference loop) and
   ``"sqlite"`` (generated SQL over an in-memory database) ship built in;
   third-party backends register under their own name.
+* :class:`ShardScheduler` and friends (:mod:`repro.query.sharding`) -- the
+  sharded parallel execution layer: ``EngineConfig(num_workers,
+  shard_strategy)`` partitions a batch's fused plans across per-worker
+  backend instances ("plan") or splits one plan's group-code space into
+  contiguous ranges ("group"), bit-identical to serial execution.
 * :func:`execute_query` / :func:`augment_training_table` -- the relational
   plumbing (filter -> group-by aggregate -> left join onto the training
   table); :func:`execute_query_naive` is the uncached reference
@@ -41,6 +46,14 @@ from repro.query.engine import (
     default_backend_name,
     engine_for,
     resolve_engine,
+)
+from repro.query.sharding import (
+    SHARD_STRATEGIES,
+    GroupRangeShards,
+    ShardedGroupedAggregator,
+    ShardScheduler,
+    default_worker_count,
+    split_ranges,
 )
 from repro.query.executor import execute_query, execute_query_naive
 from repro.query.augment import augment_training_table, apply_queries
@@ -69,6 +82,12 @@ __all__ = [
     "default_backend_name",
     "engine_for",
     "resolve_engine",
+    "SHARD_STRATEGIES",
+    "GroupRangeShards",
+    "ShardedGroupedAggregator",
+    "ShardScheduler",
+    "default_worker_count",
+    "split_ranges",
     "execute_query",
     "execute_query_naive",
     "augment_training_table",

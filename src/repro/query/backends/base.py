@@ -43,12 +43,18 @@ class ExecutionBackend:
     """Executes logical query plans against one bound table.
 
     Lifecycle: the engine instantiates the backend via :func:`make_backend`,
-    calls :meth:`bind` once, then :meth:`run` per fused plan batch.  Stats
-    hooks: backends book per-aggregate timings through
-    ``self.stats.record_kernel(func, seconds, backend=self.name)`` and report
-    empty filter results via ``engine.empty_result`` (which counts them);
-    the engine itself books total wall-clock per backend into
-    ``EngineStats.backend_seconds``.
+    calls :meth:`bind` once, then :meth:`run_plan` per fused plan (the shard
+    scheduler is the only caller; with ``num_workers > 1`` it may instead
+    call :meth:`plan_context` on the coordinator and
+    :meth:`run_plan_with_context` on a worker instance).  Subclasses override
+    **either** :meth:`run_plan` (simplest; storage-owning backends) **or**
+    the :meth:`plan_context` / :meth:`run_plan_with_context` pair (backends
+    that aggregate over engine-shared state and want deterministic stats
+    under sharding).  Stats hooks: backends book per-aggregate timings
+    through ``self.stats.record_kernel(func, seconds, backend=self.name)``
+    and report empty filter results via ``engine.empty_result`` (which
+    counts them); the shard scheduler books total wall-clock around
+    :meth:`run_plan` / worker chunks into ``EngineStats.backend_seconds``.
     """
 
     #: Registry name; set by the :func:`register_backend` decorator.
@@ -104,6 +110,9 @@ class ExecutionBackend:
 
         Tables come back plan-major, aggregate-minor: all aggregates of
         ``plans[0]`` first, in spec order, then ``plans[1]``, ...
+        Convenience wrapper over :meth:`run_plan` (the engine's shard
+        scheduler calls :meth:`run_plan` directly) -- overriding it does not
+        change how the engine executes plans.
         """
         tables: List[Table] = []
         for plan in plans:
@@ -112,6 +121,36 @@ class ExecutionBackend:
 
     def run_plan(self, plan: QueryPlan) -> List[Table]:
         """Execute one (possibly fused) plan: one table per aggregate spec."""
+        return self.run_plan_with_context(plan, self.plan_context(plan))
+
+    def plan_context(self, plan: QueryPlan):
+        """Shared-state setup for one plan (engine masks, grouping, stats).
+
+        The plan-level shard scheduler calls this **serially on the
+        coordinator thread** before dispatching plans to workers, so every
+        mutation of engine-shared state -- predicate-mask cache, group
+        indexes and their statistics counters -- happens in deterministic
+        fused order regardless of the worker count.  ``None`` (the default)
+        means the backend has no engine-shared setup (backends that own
+        their storage); the scheduler then calls :meth:`run_plan` on the
+        worker instead.
+
+        Ownership: a heavy fused plan may be split into aggregate-spec
+        units that run on **several workers sharing this one context**, so
+        any state a backend memoises into it must be idempotent and written
+        as a single assignment of a fully-built value (racing writers then
+        merely duplicate work, never corrupt each other).
+        """
+        return None
+
+    def run_plan_with_context(self, plan: QueryPlan, context) -> List[Table]:
+        """Execute one fused plan given its prepared *context*.
+
+        This is the worker-safe half of :meth:`run_plan`: it must not touch
+        mutable engine-shared state beyond thread-safe statistics hooks,
+        because the shard scheduler may run it on a pool thread while other
+        plans of the same batch execute concurrently.
+        """
         raise NotImplementedError
 
     def clear(self) -> None:
@@ -129,12 +168,34 @@ class GroupIndexBackend(ExecutionBackend):
     never drift apart -- their bit-identity contract depends on sharing it.
     """
 
-    def run_plan(self, plan: QueryPlan) -> List[Table]:
+    def plan_context(self, plan: QueryPlan) -> dict:
+        """Resolve the plan's grouping against the engine's shared state.
+
+        Runs on the coordinator thread (see the base-class contract), so the
+        mask / index caches and their counters book in fused-plan order.
+        Workers may memoise derived per-plan state (``group_rows``,
+        group-range shards) into the returned dict, but spec-split units of
+        one plan can share it across workers: memoised values must be
+        idempotent and stored with one atomic assignment (``group_rows``
+        is -- a racing duplicate computes the same list and either write is
+        valid).
+        """
         engine = self.engine
         index = engine.group_index(plan.keys)
         mask = engine.plan_mask(plan)
         group_ids, codes, n_groups, row_idx = engine.filtered_groups(index, mask)
-        context = {"index": index, "codes": codes, "n_groups": n_groups, "row_idx": row_idx}
+        return {
+            "index": index,
+            "group_ids": group_ids,
+            "codes": codes,
+            "n_groups": n_groups,
+            "row_idx": row_idx,
+        }
+
+    def run_plan_with_context(self, plan: QueryPlan, context: dict) -> List[Table]:
+        engine = self.engine
+        index = context["index"]
+        group_ids, n_groups = context["group_ids"], context["n_groups"]
         prepared_attrs: Dict[str, object] = {}
         key_columns: Optional[List[Column]] = None
         results: List[Table] = []

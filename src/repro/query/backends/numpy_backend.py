@@ -15,12 +15,21 @@ is shared with the python backend via
 (predicate-mask cache, factorized group index, per-attribute aggregable
 arrays) lives on the owning engine so it is reused across plans and across
 the in-process backends.
+
+Under ``EngineConfig(shard_strategy="group", num_workers=N)`` a single heavy
+plan is split into contiguous group-code ranges
+(:class:`~repro.query.sharding.GroupRangeShards`) and the kernels run once
+per range on the engine's worker pool -- still bit-identical, because groups
+never straddle a range boundary (see :mod:`repro.query.sharding`).  The
+per-plan row selections are memoised in the shared plan context so all
+aggregates of one fused plan reuse them.
 """
 
 from __future__ import annotations
 
 from repro.dataframe.grouped_kernels import GroupedAggregator
 from repro.query.backends.base import GroupIndexBackend, register_backend
+from repro.query.sharding import GroupRangeShards, ShardedGroupedAggregator
 
 
 @register_backend("numpy")
@@ -32,7 +41,16 @@ class NumpyBackend(GroupIndexBackend):
         values = self.engine.agg_values(attr, row_idx)
         if row_idx is not None:
             values = values[row_idx]
+        sharder = self.engine.sharder
+        if sharder.group_range_active(context["n_groups"]):
+            shards = context.get("group_shards")
+            if shards is None:
+                shards = GroupRangeShards(
+                    context["codes"], context["n_groups"], sharder.num_workers
+                )
+                context["group_shards"] = shards
+            return ShardedGroupedAggregator(shards, values, sharder)
         return GroupedAggregator(context["codes"], values, context["n_groups"])
 
-    def aggregate(self, func: str, prepared: GroupedAggregator):
+    def aggregate(self, func: str, prepared):
         return prepared.compute(func)

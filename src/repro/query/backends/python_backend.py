@@ -8,6 +8,11 @@ the baseline the kernel benchmark measures the numpy backend against, and the
 executable in-process specification newer backends are compared to.  The
 plan scaffolding is shared with the numpy backend via
 :class:`~repro.query.backends.base.GroupIndexBackend`.
+
+Under ``EngineConfig(shard_strategy="group", num_workers=N)`` the per-group
+loop runs one contiguous group range per worker (trivially bit-identical:
+each group is still aggregated by the same scalar reference function, and
+ranges concatenate in group order).
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ import numpy as np
 
 from repro.dataframe.aggregates import AGGREGATE_FUNCTIONS
 from repro.query.backends.base import GroupIndexBackend, register_backend
+from repro.query.sharding import split_ranges
 
 
 @register_backend("python")
@@ -36,9 +42,23 @@ class PythonBackend(GroupIndexBackend):
         values = self.engine.agg_values(attr, context["row_idx"])
         return [values[rows] for rows in group_rows]
 
-    def aggregate(self, func: str, prepared: List[np.ndarray]):
-        reference = AGGREGATE_FUNCTIONS[func]
-        feature = np.empty(len(prepared), dtype=np.float64)
-        for g, chunk in enumerate(prepared):
+    @staticmethod
+    def _aggregate_range(reference, chunks: List[np.ndarray]) -> np.ndarray:
+        feature = np.empty(len(chunks), dtype=np.float64)
+        for g, chunk in enumerate(chunks):
             feature[g] = reference(chunk)
         return feature
+
+    def aggregate(self, func: str, prepared: List[np.ndarray]):
+        reference = AGGREGATE_FUNCTIONS[func]
+        sharder = self.engine.sharder
+        if sharder.group_range_active(len(prepared)):
+            ranges = split_ranges(len(prepared), sharder.num_workers)
+            parts = sharder.map_shards(
+                [
+                    (lambda chunk=prepared[lo:hi]: self._aggregate_range(reference, chunk))
+                    for lo, hi in ranges
+                ]
+            )
+            return np.concatenate(parts)
+        return self._aggregate_range(reference, prepared)

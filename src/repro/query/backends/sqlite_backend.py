@@ -34,11 +34,20 @@ uses positional column aliases and bound parameters, so arbitrary column
 names and constants are safe.  Native SQL float accumulation may differ from
 the reference by rounding order, hence the documented value-equality bar of
 ``1e-9`` for storage-owning backends (in-process backends stay bit-identical).
+
+Sharding: the backend has no ``plan_context`` (SQLite owns filtering and
+grouping), so under plan-level sharding each worker slot gets its **own**
+backend instance -- its own connection and in-memory materialisation of the
+same bound table -- and runs whole plans via :meth:`run_plan`.  Identical
+inserts produce identical databases, so sharded results are deterministic.
+Group-range sharding does not apply (there are no in-process group codes to
+split) and degrades to serial execution.
 """
 
 from __future__ import annotations
 
 import sqlite3
+import threading
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -98,6 +107,16 @@ class SqliteBackend(ExecutionBackend):
     """Grouped aggregation as generated SQL over an in-memory SQLite copy."""
 
     def on_bind(self) -> None:
+        # One instance == one connection == one plan at a time: ``_run_lock``
+        # serialises plan execution so the shared connection, the collecting
+        # aggregate's ``_collected`` buffer and ``last_sql`` never interleave
+        # when user threads hit the same engine concurrently.  The shard
+        # scheduler sidesteps the lock entirely by giving every worker slot
+        # its own backend instance (its own materialised database).
+        self._run_lock = threading.Lock()
+        self._reset_state()
+
+    def _reset_state(self) -> None:
         self._conn: Optional[sqlite3.Connection] = None
         self._colmap: Dict[str, str] = {}
         self._labels: Dict[str, List[object]] = {}
@@ -108,9 +127,10 @@ class SqliteBackend(ExecutionBackend):
 
     def clear(self) -> None:
         """Drop the materialised database; the next plan re-materialises."""
-        if self._conn is not None:
-            self._conn.close()
-        self.on_bind()
+        with self._run_lock:
+            if self._conn is not None:
+                self._conn.close()
+            self._reset_state()
 
     # ------------------------------------------------------------------
     # Materialisation
@@ -119,7 +139,12 @@ class SqliteBackend(ExecutionBackend):
         if self._conn is not None:
             return self._conn
         table = self.table
-        conn = sqlite3.connect(":memory:")
+        # check_same_thread=False: the pool may run this instance's plans on
+        # different threads (across batches via worker-slot reuse, and even
+        # concurrently when user threads race whole batches); _run_lock is
+        # what guarantees single-threaded use of the connection at any
+        # instant -- do not narrow it without replacing that guarantee.
+        conn = sqlite3.connect(":memory:", check_same_thread=False)
         column_specs: List[str] = []
         arrays: List[list] = []
         for i, name in enumerate(table.column_names):
@@ -220,7 +245,11 @@ class SqliteBackend(ExecutionBackend):
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run_plan(self, plan: QueryPlan) -> List[Table]:
+    def run_plan_with_context(self, plan: QueryPlan, context=None) -> List[Table]:
+        with self._run_lock:
+            return self._run_plan_locked(plan)
+
+    def _run_plan_locked(self, plan: QueryPlan) -> List[Table]:
         conn = self._ensure_materialized()
         engine = self.engine
         self.last_sql = []

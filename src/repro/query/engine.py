@@ -22,8 +22,18 @@ re-scan every WHERE predicate) wastes almost all of that work, so a
    aggregable-array cache (used by the in-process backends) and an LRU
    result cache keyed by plan signature (TPE frequently re-samples identical
    queries), plus cache / timing statistics (:class:`EngineStats`, including
-   the backend name and per-backend wall-clock split) consumed by the
-   Figure 5 benchmarks.
+   the backend name, worker count, per-backend wall-clock split and
+   per-shard busy time) consumed by the Figure 5 benchmarks.
+4. **Sharded parallel execution** -- with ``EngineConfig(num_workers > 1)``
+   the engine's :class:`~repro.query.sharding.ShardScheduler` either
+   partitions a batch's fused plans across a thread pool of per-worker
+   backend instances (``shard_strategy="plan"``) or splits one plan's
+   group-code space into contiguous ranges (``shard_strategy="group"``);
+   results and statistics counters are identical at every worker count
+   (see :mod:`repro.query.sharding` for the determinism contract).  All
+   shared state -- both LRU caches, the group-index map and every
+   statistics mutation -- is lock-protected, so concurrent
+   ``execute_batch`` callers are safe too.
 
 The engine is an optimisation layer only: for the in-process backends its
 results are element-wise **bit-for-bit identical** to the naive
@@ -50,6 +60,7 @@ State-reset contract (pinned by ``tests/query/test_backends.py``):
 from __future__ import annotations
 
 import os
+import threading
 import time
 import warnings
 import weakref
@@ -71,6 +82,11 @@ from repro.dataframe.table import Table
 from repro.query.backends import ExecutionBackend, backend_names, make_backend
 from repro.query.plan import QueryPlan, atoms_from_query
 from repro.query.query import PredicateAwareQuery
+from repro.query.sharding import (
+    SHARD_STRATEGIES,
+    ShardScheduler,
+    default_worker_count,
+)
 
 #: Default bound on the number of cached predicate masks per engine.
 DEFAULT_MASK_CACHE_SIZE = 256
@@ -99,19 +115,35 @@ class EngineConfig:
 
     ``backend`` of ``None`` resolves to :func:`default_backend_name` at use
     time, so a config built before ``$REPRO_ENGINE_BACKEND`` changes still
-    follows the environment.
+    follows the environment; ``num_workers`` of ``None`` likewise resolves to
+    :func:`repro.query.sharding.default_worker_count`
+    (``$REPRO_ENGINE_WORKERS`` or 1).  ``shard_strategy`` selects how a
+    multi-worker engine parallelises: ``"plan"`` partitions a batch's fused
+    plans across workers, ``"group"`` splits one plan's group-code space into
+    contiguous ranges (see :mod:`repro.query.sharding`).
     """
 
     backend: Optional[str] = None
     mask_cache_size: int = DEFAULT_MASK_CACHE_SIZE
     result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE
+    num_workers: Optional[int] = None
+    shard_strategy: str = "plan"
 
     @property
     def backend_name(self) -> str:
         return self.backend or default_backend_name()
 
+    @property
+    def worker_count(self) -> int:
+        """The resolved worker count (explicit value, else the process default)."""
+        if self.num_workers is None:
+            return default_worker_count()
+        return int(self.num_workers)
+
     def validate(self) -> None:
-        """Raise ``ValueError`` on an unknown backend or non-positive caches."""
+        """Raise ``ValueError`` on an unknown backend / strategy, non-positive
+        caches or a non-positive worker count (explicit or from the
+        environment)."""
         if self.backend_name not in backend_names():
             raise ValueError(
                 f"Unknown execution backend {self.backend_name!r}; "
@@ -119,19 +151,44 @@ class EngineConfig:
             )
         if self.mask_cache_size < 1 or self.result_cache_size < 1:
             raise ValueError("Cache sizes must be >= 1")
+        if self.shard_strategy not in SHARD_STRATEGIES:
+            raise ValueError(
+                f"Unknown shard strategy {self.shard_strategy!r}; "
+                f"expected one of {SHARD_STRATEGIES}"
+            )
+        if self.worker_count < 1:  # also raises on a malformed env override
+            raise ValueError(
+                f"num_workers must be >= 1, got {self.num_workers!r}"
+            )
 
     def cache_key(self) -> tuple:
-        """Identity used to share engines per table (backend resolved)."""
-        return (self.backend_name, self.mask_cache_size, self.result_cache_size)
+        """Identity used to share engines per table (backend/workers resolved)."""
+        return (
+            self.backend_name,
+            self.mask_cache_size,
+            self.result_cache_size,
+            self.worker_count,
+            self.shard_strategy,
+        )
 
 
 @dataclass
 class EngineStats:
-    """Counters and wall-clock totals exposed for the Fig. 5 benchmarks."""
+    """Counters and wall-clock totals exposed for the Fig. 5 benchmarks.
+
+    Thread safety: every mutation goes through :meth:`bump` /
+    :meth:`add_split` / :meth:`record_kernel`, which serialise on one
+    re-entrant lock, so counters can never tear when the shard scheduler's
+    workers (or concurrent ``execute_batch`` callers) book concurrently.
+    Fields prefixed with an underscore are implementation details and are
+    excluded from :meth:`as_dict` / :meth:`reset`.
+    """
 
     #: Name of the engine's execution backend (identity, not a counter:
     #: preserved across :meth:`reset`).
     backend: str = ""
+    #: The engine's resolved worker count (identity, like ``backend``).
+    workers: int = 0
     queries: int = 0
     batches: int = 0
     batched_queries: int = 0
@@ -152,10 +209,31 @@ class EngineStats:
     #: Aggregation seconds split per kernel (canonical aggregate name ->
     #: cumulative wall-clock), maintained by every backend.
     kernel_seconds: Dict[str, float] = field(default_factory=dict)
-    #: Total wall-clock spent inside ``ExecutionBackend.run`` per backend
-    #: name (the per-backend timing split; includes masking / grouping time
-    #: the backend booked to the finer-grained counters above).
+    #: Total wall-clock spent inside ``ExecutionBackend.run_plan`` (or the
+    #: shard workers' plan chunks) per backend name (the per-backend timing
+    #: split; includes masking / grouping time the backend booked to the
+    #: finer-grained counters above).
     backend_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Number of ``execute_plans`` batches that ran on the worker pool.
+    sharded_batches: int = 0
+    #: Plan-level scheduling units executed by shard workers (strategy
+    #: "plan").  A heavy fused plan may split into several aggregate-spec
+    #: units, so this can exceed the number of fused plans dispatched.
+    plan_shards: int = 0
+    #: Group-range shard tasks executed (strategy "group").
+    group_shards: int = 0
+    #: Coordinator wall-clock spent inside parallel shard sections.
+    seconds_sharding: float = 0.0
+    #: Busy wall-clock per shard: plan-level worker slots book under
+    #: ``"w<slot>"``, group-range shards under ``"g<range>"``.
+    shard_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Serialises every mutation (excluded from :meth:`as_dict` / :meth:`reset`).
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
+
+    #: Identity fields: carried through :meth:`reset` and :meth:`delta_since`.
+    IDENTITY_FIELDS = ("backend", "workers")
 
     @property
     def mask_hit_rate(self) -> float:
@@ -167,12 +245,41 @@ class EngineStats:
         total = self.result_hits + self.result_misses
         return self.result_hits / total if total else 0.0
 
+    @property
+    def worker_utilisation(self) -> float:
+        """Shard busy-time as a fraction of pool capacity (0 when serial).
+
+        Capacity is ``workers * seconds_sharding`` -- what the pool could
+        have worked during the parallel sections; 1.0 means every worker was
+        busy the whole time (perfectly balanced shards).  Takes the stats
+        lock: the summed dict may be growing under a live poller's feet.
+        """
+        with self._lock:
+            capacity = self.workers * self.seconds_sharding
+            busy = sum(self.shard_seconds.values())
+        return busy / capacity if capacity > 0.0 else 0.0
+
+    def bump(self, **deltas) -> None:
+        """Atomically add *deltas* to scalar counters / timers."""
+        with self._lock:
+            for name, amount in deltas.items():
+                setattr(self, name, getattr(self, name) + amount)
+
+    def add_split(self, split_name: str, key: str, seconds: float) -> None:
+        """Atomically accumulate into one of the ``Dict[str, float]`` splits."""
+        with self._lock:
+            split = getattr(self, split_name)
+            split[key] = split.get(key, 0.0) + seconds
+
     def as_dict(self) -> Dict[str, float]:
-        out = dict(self.__dict__)
-        out["kernel_seconds"] = dict(self.kernel_seconds)
-        out["backend_seconds"] = dict(self.backend_seconds)
-        out["mask_hit_rate"] = self.mask_hit_rate
-        out["result_hit_rate"] = self.result_hit_rate
+        with self._lock:
+            out = {k: v for k, v in self.__dict__.items() if not k.startswith("_")}
+            out["kernel_seconds"] = dict(self.kernel_seconds)
+            out["backend_seconds"] = dict(self.backend_seconds)
+            out["shard_seconds"] = dict(self.shard_seconds)
+            out["mask_hit_rate"] = self.mask_hit_rate
+            out["result_hit_rate"] = self.result_hit_rate
+            out["worker_utilisation"] = self.worker_utilisation
         return out
 
     def record_kernel(
@@ -190,34 +297,41 @@ class EngineStats:
         ``backend_seconds``.  The legacy vectorized / python aggregation
         counters track the two in-process backends.
         """
-        if aggregation_only:
-            self.seconds_aggregating += seconds
-        self.kernel_seconds[name] = self.kernel_seconds.get(name, 0.0) + seconds
-        if backend == "numpy":
-            self.vectorized_aggregations += 1
-        elif backend == "python":
-            self.python_aggregations += 1
+        with self._lock:
+            if aggregation_only:
+                self.seconds_aggregating += seconds
+            self.kernel_seconds[name] = self.kernel_seconds.get(name, 0.0) + seconds
+            if backend == "numpy":
+                self.vectorized_aggregations += 1
+            elif backend == "python":
+                self.python_aggregations += 1
 
     def reset(self) -> None:
-        """Zero every counter and timer; identity fields (backend) survive."""
-        backend = self.backend
-        for name, value in EngineStats().__dict__.items():
-            setattr(self, name, value)
-        self.backend = backend
+        """Zero every counter and timer; identity fields (backend, workers)
+        survive."""
+        with self._lock:
+            identity = {name: getattr(self, name) for name in self.IDENTITY_FIELDS}
+            for name, value in EngineStats().__dict__.items():
+                if name.startswith("_"):
+                    continue
+                setattr(self, name, value)
+            for name, value in identity.items():
+                setattr(self, name, value)
 
     def delta_since(self, baseline: Dict[str, float]) -> Dict[str, float]:
         """Counters accumulated since *baseline* (an earlier ``as_dict()``).
 
         Engines are shared per table, so per-run reports must subtract the
-        traffic of earlier runs; hit rates are recomputed from the deltas and
-        identity fields (the backend name) are carried through unchanged.
+        traffic of earlier runs; derived rates are recomputed from the deltas
+        and identity fields (the backend name, the worker count) are carried
+        through unchanged.
         """
         current = self.as_dict()
         delta: Dict[str, float] = {}
         for name, value in current.items():
-            if name.endswith("_rate"):
+            if name.endswith("_rate") or name == "worker_utilisation":
                 continue
-            if isinstance(value, str):
+            if isinstance(value, str) or name in self.IDENTITY_FIELDS:
                 delta[name] = value
             elif isinstance(value, dict):
                 base = baseline.get(name) or {}
@@ -228,42 +342,60 @@ class EngineStats:
         delta["mask_hit_rate"] = delta["mask_hits"] / masks if masks else 0.0
         results = delta["result_hits"] + delta["result_misses"]
         delta["result_hit_rate"] = delta["result_hits"] / results if results else 0.0
+        capacity = delta["workers"] * delta["seconds_sharding"]
+        delta["worker_utilisation"] = (
+            sum(delta["shard_seconds"].values()) / capacity if capacity > 0.0 else 0.0
+        )
         return delta
 
 
 class _LRUCache:
-    """A tiny ordered-dict LRU used for masks and result tables."""
+    """A tiny ordered-dict LRU used for masks and result tables.
+
+    Thread-safe: recency bookkeeping (``move_to_end`` during ``get``) makes
+    even reads mutating, so every operation serialises on one lock --
+    concurrent ``execute_batch`` callers and shard workers can never corrupt
+    the order book or evict past the bound.  Cached values (masks, result
+    tables) are immutable by contract, so returning them outside the lock is
+    safe.
+    """
 
     def __init__(self, maxsize: int):
         self.maxsize = int(maxsize)
         self._data: "OrderedDict[object, object]" = OrderedDict()
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def get(self, key):
-        value = self._data.get(key)
-        if value is not None:
-            self._data.move_to_end(key)
-        return value
+        with self._lock:
+            value = self._data.get(key)
+            if value is not None:
+                self._data.move_to_end(key)
+            return value
 
     def put(self, key, value) -> int:
         """Insert and return the number of entries evicted (0 or 1)."""
-        if key in self._data:
-            self._data.move_to_end(key)
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self._data[key] = value
+                return 0
             self._data[key] = value
+            if len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                return 1
             return 0
-        self._data[key] = value
-        if len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
-            return 1
-        return 0
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
 
 class GroupIndex:
@@ -356,19 +488,25 @@ class QueryEngine:
     ):
         self.config = _resolve_config(config, kernels, mask_cache_size, result_cache_size)
         self.backend_name = self.config.backend_name
+        self.num_workers = self.config.worker_count
+        self.shard_strategy = self.config.shard_strategy
         # Directly-constructed engines own a strong reference to their table.
         # Registry engines (``engine_for``) hold only a weak one: the registry
         # maps table -> engine, and a strong back-reference from the engine
         # would keep every table ever touched alive for the process lifetime.
         self._table_strong = None if weak_table else table
         self._table_ref = weakref.ref(table)
-        self.stats = EngineStats(backend=self.backend_name)
+        self.stats = EngineStats(backend=self.backend_name, workers=self.num_workers)
         self._indexes: Dict[Tuple[str, ...], GroupIndex] = {}
+        self._index_lock = threading.Lock()
         self._masks = _LRUCache(self.config.mask_cache_size)
         self._results = _LRUCache(self.config.result_cache_size)
         self._agg_arrays: Dict[str, np.ndarray] = {}
+        self._agg_lock = threading.Lock()
         self.backend: ExecutionBackend = make_backend(self.backend_name)
         self.backend.bind(table, engine=self)
+        #: Worker pool + per-worker backend instances (see repro.query.sharding).
+        self.sharder = ShardScheduler(self, self.num_workers, self.shard_strategy)
 
     @property
     def table(self) -> Table:
@@ -405,24 +543,39 @@ class QueryEngine:
     # Shared derived state (services used by the in-process backends)
     # ------------------------------------------------------------------
     def group_index(self, keys: Sequence[str]) -> GroupIndex:
-        """The (cached) factorized group index for one key combination."""
+        """The (cached) factorized group index for one key combination.
+
+        Build-once semantics hold under concurrency: losers of the build race
+        wait on the lock and reuse the winner's index, so the build counter
+        stays exact at any worker count.
+        """
         keys = tuple(keys)
         index = self._indexes.get(keys)
-        if index is None:
+        if index is not None:
+            self.stats.bump(group_index_reuses=1)
+            return index
+        with self._index_lock:
+            index = self._indexes.get(keys)
+            if index is not None:
+                self.stats.bump(group_index_reuses=1)
+                return index
             start = time.perf_counter()
             index = GroupIndex(self.table, keys)
             self._indexes[keys] = index
-            self.stats.group_index_builds += 1
-            self.stats.seconds_indexing += time.perf_counter() - start
-        else:
-            self.stats.group_index_reuses += 1
+            self.stats.bump(
+                group_index_builds=1, seconds_indexing=time.perf_counter() - start
+            )
         return index
 
     def _full_agg_values(self, attr: str) -> np.ndarray:
         values = self._agg_arrays.get(attr)
-        if values is None:
-            values = column_to_aggregable(self.table.column(attr))
-            self._agg_arrays[attr] = values
+        if values is not None:
+            return values
+        with self._agg_lock:
+            values = self._agg_arrays.get(attr)
+            if values is None:
+                values = column_to_aggregable(self.table.column(attr))
+                self._agg_arrays[attr] = values
         return values
 
     def agg_values(self, attr: str, row_idx: Optional[np.ndarray]) -> np.ndarray:
@@ -443,14 +596,13 @@ class QueryEngine:
         if signature is not None:
             cached = self._masks.get(signature)
             if cached is not None:
-                self.stats.mask_hits += 1
+                self.stats.bump(mask_hits=1)
                 return cached
-        self.stats.mask_misses += 1
         start = time.perf_counter()
         mask = predicate.mask(self.table)
-        self.stats.seconds_masking += time.perf_counter() - start
+        self.stats.bump(mask_misses=1, seconds_masking=time.perf_counter() - start)
         if signature is not None:
-            self.stats.mask_evictions += self._masks.put(signature, mask)
+            self.stats.bump(mask_evictions=self._masks.put(signature, mask))
         return mask
 
     def plan_mask(self, plan: QueryPlan) -> Optional[np.ndarray]:
@@ -485,11 +637,11 @@ class QueryEngine:
         start = time.perf_counter()
         row_idx = np.flatnonzero(mask)
         if row_idx.size == 0:
-            self.stats.seconds_grouping += time.perf_counter() - start
+            self.stats.bump(seconds_grouping=time.perf_counter() - start)
             empty = np.empty(0, dtype=np.int64)
             return empty, empty, 0, row_idx
         group_ids, codes, _ = renumber_codes_compact(index.codes[row_idx])
-        self.stats.seconds_grouping += time.perf_counter() - start
+        self.stats.bump(seconds_grouping=time.perf_counter() - start)
         return group_ids, codes, group_ids.size, row_idx
 
     def group_rows(self, index: GroupIndex, codes: np.ndarray, n_groups: int,
@@ -506,12 +658,12 @@ class QueryEngine:
             row_idx[positions]
             for positions in group_positions_from_codes(codes, n_groups)
         ]
-        self.stats.seconds_grouping += time.perf_counter() - start
+        self.stats.bump(seconds_grouping=time.perf_counter() - start)
         return group_rows
 
     def empty_result(self, keys: Sequence[str], feature_name: str) -> Table:
         """The empty feature table, constructed directly (no full-table scan)."""
-        self.stats.empty_results += 1
+        self.stats.bump(empty_results=1)
         columns: List[Column] = []
         for name in keys:
             source = self.table.column(name)
@@ -540,9 +692,9 @@ class QueryEngine:
         if key is not None:
             cached = self._results.get(key)
             if cached is not None:
-                self.stats.result_hits += 1
+                self.stats.bump(result_hits=1)
                 return cached
-        return self._run_fused(plan, batched=False)[0]
+        return self._run_fused([plan], batched=False)[0][0]
 
     def execute_batch(self, queries: Sequence[PredicateAwareQuery]) -> List[Table]:
         """Run many queries, sharing work between them.
@@ -555,7 +707,13 @@ class QueryEngine:
         return self.execute_plans([self.plan(query) for query in queries])
 
     def execute_plans(self, plans: Sequence[QueryPlan]) -> List[Table]:
-        """Batched execution of single-aggregate plans (input order preserved)."""
+        """Batched execution of single-aggregate plans (input order preserved).
+
+        With ``num_workers > 1`` and ``shard_strategy="plan"`` the batch's
+        pending fused plans run in parallel on the engine's worker pool (see
+        :class:`~repro.query.sharding.ShardScheduler`); results are assembled
+        by input position, so the output is identical at any worker count.
+        """
         plans = list(plans)
         results: List[Optional[Table]] = [None] * len(plans)
         fused: "OrderedDict[tuple, List[int]]" = OrderedDict()
@@ -568,13 +726,14 @@ class QueryEngine:
                 continue
             fused.setdefault(group_key, []).append(i)
 
+        pending_fused: List[Tuple[QueryPlan, List[int]]] = []
         for positions in fused.values():
             pending: List[int] = []
             for i in positions:
                 key = plans[i].result_key(0)
                 cached = self._results.get(key) if key is not None else None
                 if cached is not None:
-                    self.stats.result_hits += 1
+                    self.stats.bump(result_hits=1)
                     results[i] = cached
                 else:
                     pending.append(i)
@@ -583,33 +742,38 @@ class QueryEngine:
             merged = plans[pending[0]].with_aggregates(
                 plans[i].aggregates[0] for i in pending
             )
-            for i, result in zip(pending, self._run_fused(merged, batched=True)):
-                results[i] = result
-        self.stats.batches += 1
+            pending_fused.append((merged, pending))
+
+        if pending_fused:
+            table_lists = self._run_fused(
+                [merged for merged, _ in pending_fused], batched=True
+            )
+            for (merged, pending), tables in zip(pending_fused, table_lists):
+                for i, table in zip(pending, tables):
+                    results[i] = table
+        self.stats.bump(batches=1)
         return results  # type: ignore[return-value]
 
-    def _run_fused(self, plan: QueryPlan, batched: bool) -> List[Table]:
-        """Run one fused plan on the backend; book stats and the result cache.
+    def _run_fused(self, plans: List[QueryPlan], batched: bool) -> List[List[Table]]:
+        """Run fused plans on the backend(s); book stats and the result cache.
 
-        The backend pays the plan's mask / grouping once and returns one
-        table per aggregate spec.  Results are written to the result cache
-        but never read from it (callers check the cache first).
+        Each fused plan pays its mask / grouping once and yields one table
+        per aggregate spec.  Execution is delegated to the shard scheduler
+        (serial on the engine's own backend, or plan-parallel across worker
+        backends); booking happens here on the coordinator thread, in fused
+        order, so counters and cache contents do not depend on the worker
+        count.  Results are written to the result cache but never read from
+        it (callers check the cache first).
         """
-        start = time.perf_counter()
-        tables = self.backend.run([plan])
-        seconds = time.perf_counter() - start
-        self.stats.backend_seconds[self.backend_name] = (
-            self.stats.backend_seconds.get(self.backend_name, 0.0) + seconds
-        )
-        for position, (spec, table) in enumerate(zip(plan.aggregates, tables)):
-            self.stats.queries += 1
-            if batched:
-                self.stats.batched_queries += 1
-            key = plan.result_key(position)
-            if key is not None:
-                self.stats.result_misses += 1
-                self._results.put(key, table)
-        return tables
+        table_lists = self.sharder.run_fused_plans(plans)
+        for plan, tables in zip(plans, table_lists):
+            for position, table in enumerate(tables):
+                self.stats.bump(queries=1, batched_queries=1 if batched else 0)
+                key = plan.result_key(position)
+                if key is not None:
+                    self.stats.bump(result_misses=1)
+                    self._results.put(key, table)
+        return table_lists
 
     # ------------------------------------------------------------------
     # Cache management
@@ -623,15 +787,17 @@ class QueryEngine:
         return len(self._results)
 
     def clear_caches(self) -> None:
-        """Drop all derived state: masks, results, indexes, aggregable arrays
-        and the backend's private materialisations.  Statistics counters are
-        lifetime counters and are deliberately left untouched; use
-        :meth:`reset` for a fully cold engine."""
+        """Drop all derived state: masks, results, indexes, aggregable arrays,
+        the backend's private materialisations, and the shard scheduler's
+        worker backends / pool.  Statistics counters are lifetime counters
+        and are deliberately left untouched; use :meth:`reset` for a fully
+        cold engine."""
         self._masks.clear()
         self._results.clear()
         self._indexes.clear()
         self._agg_arrays.clear()
         self.backend.clear()
+        self.sharder.clear()
 
     def reset(self) -> None:
         """Return the engine to a cold state: drop all caches, zero the stats
@@ -654,6 +820,10 @@ _ENGINE_REGISTRY: "weakref.WeakKeyDictionary[Table, Dict[tuple, QueryEngine]]" =
     weakref.WeakKeyDictionary()
 )
 
+#: Serialises registry lookups/creation so concurrent ``engine_for`` callers
+#: can never race two engines into the same (table, config) slot.
+_REGISTRY_LOCK = threading.Lock()
+
 
 def engine_for(
     table: Table,
@@ -670,15 +840,16 @@ def engine_for(
     ``DeprecationWarning``.
     """
     config = _resolve_config(config, kernels, None, None)
-    per_table = _ENGINE_REGISTRY.get(table)
-    if per_table is None:
-        per_table = {}
-        _ENGINE_REGISTRY[table] = per_table
-    key = config.cache_key()
-    engine = per_table.get(key)
-    if engine is None:
-        engine = QueryEngine(table, weak_table=True, config=config)
-        per_table[key] = engine
+    with _REGISTRY_LOCK:
+        per_table = _ENGINE_REGISTRY.get(table)
+        if per_table is None:
+            per_table = {}
+            _ENGINE_REGISTRY[table] = per_table
+        key = config.cache_key()
+        engine = per_table.get(key)
+        if engine is None:
+            engine = QueryEngine(table, weak_table=True, config=config)
+            per_table[key] = engine
     return engine
 
 

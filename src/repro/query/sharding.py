@@ -1,0 +1,390 @@
+"""Sharded parallel execution of query plans across backend workers.
+
+The batched engine of :mod:`repro.query.engine` runs every fused plan of an
+``execute_batch`` call serially on the calling thread.  TPE search traffic
+hammers one engine with 50+ query templates per step, so this module adds the
+two shard strategies the plan/backend seam was built to enable:
+
+* **Plan-level scheduling** (``shard_strategy="plan"``, the default) --
+  :meth:`ShardScheduler.run_fused_plans` partitions the batch's pending fused
+  plans across a thread pool.  Each worker slot holds its **own backend
+  instance** over the shared table (mandatory for backends that own storage,
+  e.g. one sqlite connection per worker; harmless for the stateless
+  in-process backends), and plans are assigned longest-processing-time-first
+  by estimated cost so one heavy plan cannot serialise the batch.
+* **Group-range sharding** (``shard_strategy="group"``) -- for a single
+  heavy plan, :class:`GroupRangeShards` splits the factorized group-code
+  space ``[0, n_groups)`` into contiguous ranges and the grouped-aggregation
+  kernels run once per range, concatenating the per-group results in code
+  order.  Because every group lies entirely inside one shard (groups never
+  straddle a range boundary) and boolean-mask row selection preserves the
+  original row order within each group, every kernel sees exactly the rows,
+  in exactly the accumulation order, the unsharded kernel sees -- so the
+  results are **bit-for-bit identical** for any shard count, preserving the
+  accumulation-order contract of :mod:`repro.dataframe.aggregates`.
+
+Determinism contract (pinned by ``tests/query/test_sharding_equivalence.py``):
+sharded execution returns element-wise identical tables to serial execution
+for every backend and shard count.  For plan-level scheduling this holds
+because all engine-shared state (predicate masks, group indexes, and their
+statistics) is prepared **serially on the coordinator thread** via
+``ExecutionBackend.plan_context`` before any worker runs, in the same fused
+order serial execution uses; workers only aggregate over the prepared
+(immutable) contexts.  Statistics counters therefore book identical totals
+at every worker count.
+
+Threads, not processes: the numpy kernels spend their time inside
+GIL-releasing array primitives and the sqlite backend blocks inside the C
+library, so a thread pool parallelises both without any serialisation cost
+on the table.  Worker count comes from ``EngineConfig(num_workers=...)``,
+defaulting to ``$REPRO_ENGINE_WORKERS`` or 1 (fully serial; the scheduler
+then never creates a pool).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dataframe.grouped_kernels import GroupedAggregator
+from repro.query.backends.base import ExecutionBackend, make_backend
+from repro.query.plan import QueryPlan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.dataframe.table import Table
+    from repro.query.engine import QueryEngine
+
+#: Environment variable overriding the default worker count (used by the CI
+#: sharded matrix slot to replay the query suites with ``num_workers=4``).
+WORKERS_ENV_VAR = "REPRO_ENGINE_WORKERS"
+
+#: The two shard strategies: partition fused plans across workers ("plan")
+#: or split one plan's group-code space into contiguous ranges ("group").
+SHARD_STRATEGIES = ("plan", "group")
+
+
+def default_worker_count() -> int:
+    """The process-wide default worker count: ``$REPRO_ENGINE_WORKERS`` or 1.
+
+    Raises ``ValueError`` on a malformed or non-positive value -- a silently
+    ignored typo would run the whole process serially.
+    """
+    raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
+    if not raw:
+        return 1
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"${WORKERS_ENV_VAR} must be a positive integer, got {raw!r}"
+        ) from None
+    if workers < 1:
+        raise ValueError(f"${WORKERS_ENV_VAR} must be a positive integer, got {raw!r}")
+    return workers
+
+
+def split_ranges(n: int, shards: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` ranges covering ``range(n)``, sizes within 1.
+
+    At most ``n`` non-empty ranges are produced, so a group count smaller
+    than the worker count simply yields fewer shards (never empty ones).
+    """
+    if n <= 0:
+        return [(0, 0)]
+    shards = max(1, min(int(shards), n))
+    return [(i * n // shards, (i + 1) * n // shards) for i in range(shards)]
+
+
+class GroupRangeShards:
+    """Per-shard row selections of one plan's filtered grouping.
+
+    Splits compact group codes (every code in ``[0, n_groups)``) into the
+    contiguous code ranges of :func:`split_ranges` and materialises, per
+    range, the selected row positions and the range-local codes.  Row
+    selection uses an ascending boolean mask, so within every group the rows
+    keep their original relative order -- the property the bit-identity
+    contract of the kernels rests on.  The selections are attribute
+    independent and shared across all aggregates of one plan.
+    """
+
+    def __init__(self, codes: np.ndarray, n_groups: int, num_shards: int):
+        self.n_groups = int(n_groups)
+        self.ranges = split_ranges(self.n_groups, num_shards)
+        self.rows: List[np.ndarray] = []
+        self.codes: List[np.ndarray] = []
+        for lo, hi in self.ranges:
+            selected = np.flatnonzero((codes >= lo) & (codes < hi))
+            self.rows.append(selected)
+            self.codes.append(codes[selected] - lo)
+
+    def __len__(self) -> int:
+        return len(self.ranges)
+
+
+class ShardedGroupedAggregator:
+    """Drop-in for :class:`GroupedAggregator` that computes per code range.
+
+    Holds one :class:`GroupedAggregator` per shard (so each shard reuses its
+    own sorted segments and bincount intermediates across the plan's
+    aggregates, exactly like the unsharded aggregator does globally) and
+    concatenates per-range results in code order -- which *is* group order,
+    because the ranges partition ``[0, n_groups)`` contiguously.
+    """
+
+    def __init__(
+        self, shards: GroupRangeShards, values: np.ndarray, scheduler: "ShardScheduler"
+    ):
+        self._scheduler = scheduler
+        self._parts = [
+            GroupedAggregator(codes, values[rows], hi - lo)
+            for codes, rows, (lo, hi) in zip(shards.codes, shards.rows, shards.ranges)
+        ]
+
+    def compute(self, name: str) -> np.ndarray:
+        results = self._scheduler.map_shards(
+            [(lambda part=part: part.compute(name)) for part in self._parts]
+        )
+        if len(results) == 1:
+            return results[0]
+        return np.concatenate(results)
+
+
+class ShardScheduler:
+    """Owns one engine's worker pool and per-worker backend instances.
+
+    The scheduler is derived state: :meth:`clear` (called by
+    ``QueryEngine.clear_caches``) drops the worker backends (and their
+    private materialisations) and the thread pool; both are re-created
+    lazily.  With ``num_workers == 1`` no pool ever exists and every call
+    degenerates to the serial path.
+    """
+
+    def __init__(self, engine: "QueryEngine", num_workers: int, shard_strategy: str):
+        self.engine = engine
+        self.num_workers = int(num_workers)
+        self.shard_strategy = shard_strategy
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._worker_backends: Dict[int, ExecutionBackend] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Activation predicates
+    # ------------------------------------------------------------------
+    def plan_parallel_active(self, n_plans: int) -> bool:
+        """Whether a batch of *n_plans* fused plans is scheduled on the pool."""
+        return self.shard_strategy == "plan" and self.num_workers > 1 and n_plans > 1
+
+    def group_range_active(self, n_groups: int) -> bool:
+        """Whether one plan's *n_groups* groups are split into code ranges."""
+        return self.shard_strategy == "group" and self.num_workers > 1 and n_groups > 1
+
+    # ------------------------------------------------------------------
+    # Worker resources
+    # ------------------------------------------------------------------
+    def _executor(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.num_workers, thread_name_prefix="repro-shard"
+                )
+            return self._pool
+
+    def worker_backend(self, slot: int) -> ExecutionBackend:
+        """The backend instance owned by worker *slot* (created lazily).
+
+        Every slot gets its own instance: storage-owning backends (sqlite)
+        cannot share a connection across threads, and private per-plan state
+        (``last_sql``) must never interleave between workers.
+        """
+        with self._lock:
+            backend = self._worker_backends.get(slot)
+            if backend is None:
+                backend = make_backend(self.engine.backend_name)
+                backend.bind(self.engine.table, engine=self.engine)
+                self._worker_backends[slot] = backend
+            return backend
+
+    @property
+    def worker_backends(self) -> List[ExecutionBackend]:
+        """Snapshot of the live per-slot backend instances (observability)."""
+        with self._lock:
+            return list(self._worker_backends.values())
+
+    def clear(self) -> None:
+        """Drop worker backends and the pool (both re-created on demand)."""
+        with self._lock:
+            workers = list(self._worker_backends.values())
+            self._worker_backends.clear()
+            pool, self._pool = self._pool, None
+        for backend in workers:
+            backend.clear()
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Plan-level scheduling
+    # ------------------------------------------------------------------
+    def run_fused_plans(self, plans: Sequence[QueryPlan]) -> List[List["Table"]]:
+        """Execute fused plans, serial or sharded; one table list per plan.
+
+        The parallel path first computes every plan's execution context
+        serially on this (the coordinator) thread via
+        ``ExecutionBackend.plan_context`` -- all mutation of engine-shared
+        state (mask cache, group index, stats) happens there, in fused
+        order, so counters and caches book exactly what serial execution
+        books.  Workers then aggregate over the immutable contexts.
+        """
+        engine = self.engine
+        stats = engine.stats
+        plans = list(plans)
+        if not self.plan_parallel_active(len(plans)):
+            results = []
+            for plan in plans:
+                start = time.perf_counter()
+                results.append(engine.backend.run_plan(plan))
+                stats.add_split(
+                    "backend_seconds", engine.backend_name, time.perf_counter() - start
+                )
+            return results
+
+        contexts = [engine.backend.plan_context(plan) for plan in plans]
+        units = self._split_units(plans, contexts)
+        assignments = self._assign_units(units)
+        executor = self._executor()
+        start = time.perf_counter()
+        futures = [
+            executor.submit(self._run_chunk, slot, plans, contexts, chunk)
+            for slot, chunk in enumerate(assignments)
+            if chunk
+        ]
+        chunk_results = [future.result() for future in futures]
+        stats.bump(seconds_sharding=time.perf_counter() - start, sharded_batches=1)
+        results: List[List[Optional["Table"]]] = [
+            [None] * len(plan.aggregates) for plan in plans
+        ]
+        for chunk in chunk_results:
+            for (i, lo, _hi, _cost), tables in chunk:
+                for offset, table in enumerate(tables):
+                    results[i][lo + offset] = table
+        return results  # type: ignore[return-value]
+
+    def _split_units(
+        self, plans: Sequence[QueryPlan], contexts: Sequence[object]
+    ) -> List[Tuple[int, int, int, float]]:
+        """Break fused plans into ``(plan, spec range)`` scheduling units.
+
+        The unit of work defaults to a whole fused plan (its aggregates then
+        share prepared per-attribute state), but a plan whose estimated cost
+        exceeds the ideal per-worker load is split into contiguous
+        aggregate-spec ranges over the *same* prefetched context -- without
+        this, one heavy fused plan (e.g. the no-predicate plan of a template
+        batch) bounds the whole batch's makespan.  Exactness is unaffected:
+        every spec is computed from the same immutable context either way.
+        Returns ``(plan index, spec lo, spec hi, estimated cost)`` tuples.
+        """
+        costs = [
+            self._plan_cost(plan, context) for plan, context in zip(plans, contexts)
+        ]
+        target = sum(costs) / self.num_workers
+        units: List[Tuple[int, int, int, float]] = []
+        for i, (plan, cost) in enumerate(zip(plans, costs)):
+            n_specs = len(plan.aggregates)
+            pieces = 1
+            if target > 0.0 and cost > target:
+                pieces = min(n_specs, -(-int(cost) // max(1, int(target))))
+            for lo, hi in split_ranges(n_specs, pieces):
+                units.append((i, lo, hi, cost * (hi - lo) / max(1, n_specs)))
+        return units
+
+    def _assign_units(
+        self, units: Sequence[Tuple[int, int, int, float]]
+    ) -> List[List[Tuple[int, int, int, float]]]:
+        """Longest-processing-time-first assignment of units to worker slots.
+
+        Deterministic: ties break on the lower plan index, then the lower
+        spec offset, then the lower slot id, so the same batch always
+        schedules -- and books its statistics -- identically.
+        """
+        slots = min(self.num_workers, len(units))
+        order = sorted(units, key=lambda unit: (-unit[3], unit[0], unit[1]))
+        assignments: List[List[Tuple[int, int, int, float]]] = [[] for _ in range(slots)]
+        loads = [0.0] * slots
+        for unit in order:
+            slot = min(range(slots), key=lambda s: (loads[s], s))
+            assignments[slot].append(unit)
+            loads[slot] += unit[3]
+        return assignments
+
+    def _plan_cost(self, plan: QueryPlan, context: object) -> float:
+        """Estimated plan cost: filtered row count x aggregate count.
+
+        The filtered size comes from the prefetched context; backends that
+        own their filtering (no context) are charged the full table.
+        """
+        n_aggregates = max(1, len(plan.aggregates))
+        if isinstance(context, dict):
+            row_idx = context.get("row_idx")
+            rows = len(row_idx) if row_idx is not None else self.engine.table.num_rows
+        else:
+            rows = self.engine.table.num_rows
+        # +1 keeps empty-filter plans from looking free (they still pay the
+        # per-plan dispatch and output assembly).
+        return float(rows * n_aggregates + 1)
+
+    def _run_chunk(
+        self,
+        slot: int,
+        plans: Sequence[QueryPlan],
+        contexts: Sequence[object],
+        chunk: Sequence[Tuple[int, int, int, float]],
+    ):
+        engine = self.engine
+        backend = self.worker_backend(slot)
+        start = time.perf_counter()
+        results = []
+        for unit in chunk:
+            i, lo, hi, _cost = unit
+            plan, context = plans[i], contexts[i]
+            if hi - lo != len(plan.aggregates):
+                plan = plan.with_aggregates(plan.aggregates[lo:hi])
+            if context is None:
+                results.append((unit, backend.run_plan(plan)))
+            else:
+                results.append((unit, backend.run_plan_with_context(plan, context)))
+        elapsed = time.perf_counter() - start
+        engine.stats.add_split("backend_seconds", engine.backend_name, elapsed)
+        engine.stats.add_split("shard_seconds", f"w{slot}", elapsed)
+        engine.stats.bump(plan_shards=len(results))
+        return results
+
+    # ------------------------------------------------------------------
+    # Group-range fan-out
+    # ------------------------------------------------------------------
+    def map_shards(self, thunks: Sequence[Callable[[], np.ndarray]]) -> List[np.ndarray]:
+        """Run one callable per group-range shard on the pool, in order."""
+        if len(thunks) <= 1:
+            return [thunk() for thunk in thunks]
+        stats = self.engine.stats
+        executor = self._executor()
+        start = time.perf_counter()
+        futures = [
+            executor.submit(self._run_shard, i, thunk) for i, thunk in enumerate(thunks)
+        ]
+        results = [future.result() for future in futures]
+        stats.bump(
+            seconds_sharding=time.perf_counter() - start, group_shards=len(thunks)
+        )
+        return results
+
+    def _run_shard(self, i: int, thunk: Callable[[], np.ndarray]) -> np.ndarray:
+        start = time.perf_counter()
+        result = thunk()
+        self.engine.stats.add_split(
+            "shard_seconds", f"g{i}", time.perf_counter() - start
+        )
+        return result

@@ -22,6 +22,7 @@ from repro.query.engine import (
     default_backend_name,
     engine_for,
 )
+from repro.query.sharding import WORKERS_ENV_VAR, default_worker_count
 from repro.query.executor import execute_query_naive
 from repro.query.query import PredicateAwareQuery
 
@@ -131,6 +132,72 @@ class TestEngineConfig:
             QueryEngine(make_relevant(0), config=EngineConfig(mask_cache_size=0))
 
 
+class TestWorkerConfig:
+    """EngineConfig(num_workers, shard_strategy) + $REPRO_ENGINE_WORKERS."""
+
+    def test_default_worker_count_is_one(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+        assert default_worker_count() == 1
+        assert EngineConfig().worker_count == 1
+        assert QueryEngine(make_relevant(0)).num_workers == 1
+
+    def test_env_var_overrides_default(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "3")
+        assert default_worker_count() == 3
+        engine = QueryEngine(make_relevant(0))
+        assert engine.num_workers == 3
+        assert engine.stats.workers == 3
+
+    def test_explicit_workers_beat_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "3")
+        engine = QueryEngine(make_relevant(0), config=EngineConfig(num_workers=2))
+        assert engine.num_workers == 2
+
+    @pytest.mark.parametrize("workers", [0, -1, -7])
+    def test_zero_and_negative_workers_rejected(self, workers):
+        with pytest.raises(ValueError, match="num_workers must be >= 1"):
+            EngineConfig(num_workers=workers).validate()
+        with pytest.raises(ValueError, match="num_workers must be >= 1"):
+            QueryEngine(make_relevant(0), config=EngineConfig(num_workers=workers))
+
+    @pytest.mark.parametrize("raw", ["four", "2.5", "", " 0 ", "-3"])
+    def test_env_var_parsing_rejects_garbage(self, monkeypatch, raw):
+        monkeypatch.setenv(WORKERS_ENV_VAR, raw)
+        if not raw.strip():
+            assert default_worker_count() == 1  # unset/blank means serial
+        else:
+            with pytest.raises(ValueError, match="REPRO_ENGINE_WORKERS"):
+                default_worker_count()
+            with pytest.raises(ValueError, match="REPRO_ENGINE_WORKERS"):
+                EngineConfig().validate()
+
+    def test_whitespace_env_value_parses(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "  4  ")
+        assert default_worker_count() == 4
+
+    def test_unknown_shard_strategy_rejected(self):
+        with pytest.raises(ValueError, match="Unknown shard strategy"):
+            EngineConfig(shard_strategy="rows").validate()
+
+    def test_engine_for_is_keyed_by_workers_and_strategy(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+        table = make_relevant(0)
+        serial = engine_for(table)
+        sharded = engine_for(table, EngineConfig(num_workers=2))
+        grouped = engine_for(table, EngineConfig(num_workers=2, shard_strategy="group"))
+        assert serial is not sharded
+        assert sharded is not grouped
+        assert engine_for(table, EngineConfig(num_workers=2)) is sharded
+
+    def test_kernels_alias_still_warns_exactly_once(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            QueryEngine(make_relevant(0), kernels="python")
+        deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "kernels=" in str(deprecations[0].message)
+
+
 class TestEngineForConfig:
     def test_shared_per_table_and_config(self):
         table = make_relevant(0)
@@ -212,10 +279,15 @@ class TestStateResetContract:
 
     def test_clear_caches_resets_backend_materialisation(self):
         engine = self.warmed_engine("sqlite")
-        assert engine.backend._conn is not None
+        # With num_workers > 1 the batch may have run on per-worker backend
+        # instances instead of the engine's own; all of them are derived
+        # state and must be dropped by clear_caches.
+        backends = [engine.backend] + engine.sharder.worker_backends
+        assert any(backend._conn is not None for backend in backends)
         engine.clear_caches()
         assert engine.backend._conn is None  # re-materialised on next plan
-        engine.execute(query_with("a"))
+        assert engine.sharder.worker_backends == []  # workers dropped outright
+        engine.execute(query_with("a"))  # single plan: runs on the engine's backend
         assert engine.backend._conn is not None
 
     @pytest.mark.parametrize("backend", ["numpy", "sqlite"])

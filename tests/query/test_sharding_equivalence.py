@@ -1,0 +1,317 @@
+"""Shard-equivalence suite: serial vs sharded execution on every backend.
+
+The quality benchmarks depend on one canonical numeric trajectory, so sharded
+execution must never perturb a result: for every registered backend, every
+shard count and both shard strategies, ``execute_batch`` must return tables
+element-wise identical to the same engine running serially
+(``num_workers=1``).  The in-process backends (numpy / python) are held to
+**bit-for-bit** identity -- group-range sharding preserves the
+accumulation-order contract because groups never straddle a range boundary
+and boolean-mask row selection keeps the original row order within every
+group.  The sqlite backend (whose per-worker instances re-materialise their
+own database) is held to the storage-owning value bar of ``1e-9``, exactly
+like its serial-vs-naive bar.
+
+Edge cases pinned explicitly: empty filter results (empty groups),
+single-group tables, and group counts smaller than the worker count (shards
+must degrade, never produce empty ranges or duplicate groups).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataframe.aggregates import AGGREGATE_FUNCTIONS
+from repro.dataframe.column import Column, DType
+from repro.dataframe.grouped_kernels import GroupedAggregator
+from repro.dataframe.table import Table
+from repro.query.backends import backend_names
+from repro.query.engine import EngineConfig, QueryEngine
+from repro.query.query import PredicateAwareQuery
+from repro.query.sharding import GroupRangeShards, split_ranges
+
+AGG_FUNCS = list(AGGREGATE_FUNCTIONS)
+BACKENDS = tuple(backend_names())
+#: In-process backends: serial and sharded results must be bit-identical.
+EXACT_BACKENDS = ("numpy", "python")
+SHARD_COUNTS = (1, 2, 3, 7)
+STRATEGIES = ("plan", "group")
+VALUE_TOLERANCE = 1e-9
+
+finite_floats = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False)
+
+
+def serial_engine(table: Table, backend: str) -> QueryEngine:
+    return QueryEngine(table, config=EngineConfig(backend=backend, num_workers=1))
+
+
+def sharded_engine(table: Table, backend: str, workers: int, strategy: str) -> QueryEngine:
+    return QueryEngine(
+        table,
+        config=EngineConfig(backend=backend, num_workers=workers, shard_strategy=strategy),
+    )
+
+
+def assert_tables_match(actual: Table, expected: Table, exact: bool) -> None:
+    assert actual.column_names == expected.column_names
+    for name in expected.column_names:
+        left, right = actual.column(name), expected.column(name)
+        assert left.dtype is right.dtype
+        if exact or not left.is_numeric_like:
+            assert left == right, f"column {name!r} differs"
+        else:
+            a, b = left.values, right.values
+            assert a.shape == b.shape
+            assert np.array_equal(np.isnan(a), np.isnan(b))
+            assert np.allclose(a, b, rtol=0.0, atol=VALUE_TOLERANCE, equal_nan=True)
+
+
+def assert_batches_match(backend: str, actual, expected) -> None:
+    assert len(actual) == len(expected)
+    for got, want in zip(actual, expected):
+        assert_tables_match(got, want, exact=backend in EXACT_BACKENDS)
+
+
+@st.composite
+def random_tables(draw):
+    """Small tables with NaN-bearing keys; group counts vary from 1 to ~20."""
+    n = draw(st.integers(min_value=1, max_value=40))
+    key_space = draw(st.sampled_from([[1.0], [1.0, 2.0], [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]]))
+
+    def rows(strategy):
+        return draw(st.lists(strategy, min_size=n, max_size=n))
+
+    return Table(
+        [
+            Column("key", rows(st.one_of(st.none(), st.sampled_from(key_space))), dtype=DType.NUMERIC),
+            Column("cat", rows(st.sampled_from(["x", "y", "z", None])), dtype=DType.CATEGORICAL),
+            Column("num", rows(st.one_of(st.none(), finite_floats)), dtype=DType.NUMERIC),
+            Column("val", rows(st.one_of(st.none(), finite_floats)), dtype=DType.NUMERIC),
+        ]
+    )
+
+
+@st.composite
+def random_queries(draw):
+    agg_func = draw(st.sampled_from(AGG_FUNCS))
+    agg_attr = draw(st.sampled_from(["val", "num", "cat"]))
+    predicates = {}
+    if draw(st.booleans()):
+        # "q" never occurs, so empty filter results are generated regularly.
+        predicates["cat"] = draw(st.sampled_from(["x", "y", "q"]))
+    if draw(st.booleans()):
+        low = draw(st.one_of(st.none(), finite_floats))
+        high = draw(st.one_of(st.none(), finite_floats))
+        if low is not None and high is not None and low > high:
+            low, high = high, low
+        if low is not None or high is not None:
+            predicates["num"] = (low, high)
+    dtypes = {attr: (DType.CATEGORICAL if attr == "cat" else DType.NUMERIC) for attr in predicates}
+    return PredicateAwareQuery(agg_func, agg_attr, ("key",), predicates, dtypes)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+class TestShardEquivalenceProperty:
+    @given(
+        table=random_tables(),
+        queries=st.lists(random_queries(), min_size=1, max_size=6),
+        workers=st.sampled_from(SHARD_COUNTS),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_sharded_batch_matches_serial(self, backend, strategy, table, queries, workers):
+        expected = serial_engine(table, backend).execute_batch(queries)
+        sharded = sharded_engine(table, backend, workers, strategy)
+        assert_batches_match(backend, sharded.execute_batch(queries), expected)
+        # A second pass is served from the result cache and must match too.
+        assert_batches_match(backend, sharded.execute_batch(queries), expected)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("workers", SHARD_COUNTS)
+class TestShardEquivalenceEdgeCases:
+    def batch(self):
+        queries = []
+        for predicates in ({}, {"cat": "x"}, {"cat": "missing"}):
+            for func in ("SUM", "COUNT", "MEDIAN", "MODE", "ENTROPY", "KURTOSIS"):
+                queries.append(
+                    PredicateAwareQuery(
+                        func, "val", ("key",), dict(predicates),
+                        {k: DType.CATEGORICAL for k in predicates},
+                    )
+                )
+        return queries
+
+    def run_both(self, table, backend, workers, strategy):
+        queries = self.batch()
+        expected = serial_engine(table, backend).execute_batch(queries)
+        actual = sharded_engine(table, backend, workers, strategy).execute_batch(queries)
+        assert_batches_match(backend, actual, expected)
+
+    def test_empty_filter_results(self, backend, strategy, workers):
+        rng = np.random.default_rng(0)
+        table = Table(
+            [
+                Column("key", rng.integers(0, 5, size=30).astype(np.float64), dtype=DType.NUMERIC),
+                Column("cat", ["y"] * 30, dtype=DType.CATEGORICAL),  # "x" never matches
+                Column("val", rng.normal(size=30), dtype=DType.NUMERIC),
+            ]
+        )
+        self.run_both(table, backend, workers, strategy)
+
+    def test_single_group_table(self, backend, strategy, workers):
+        table = Table(
+            [
+                Column("key", [1.0] * 12, dtype=DType.NUMERIC),
+                Column("cat", ["x", "y"] * 6, dtype=DType.CATEGORICAL),
+                Column("val", [float(i) for i in range(12)], dtype=DType.NUMERIC),
+            ]
+        )
+        self.run_both(table, backend, workers, strategy)
+
+    def test_fewer_groups_than_workers(self, backend, strategy, workers):
+        table = Table(
+            [
+                Column("key", [1.0, 2.0, 1.0, 2.0, 1.0], dtype=DType.NUMERIC),
+                Column("cat", ["x", "x", "y", "x", "x"], dtype=DType.CATEGORICAL),
+                Column("val", [0.5, -1.5, 2.5, float("nan"), 3.5], dtype=DType.NUMERIC),
+            ]
+        )
+        self.run_both(table, backend, workers, strategy)
+
+
+class TestSplitRanges:
+    @given(n=st.integers(min_value=0, max_value=200), shards=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=100, deadline=None)
+    def test_contiguous_balanced_cover(self, n, shards):
+        ranges = split_ranges(n, shards)
+        # Contiguous cover of [0, n) with no gaps or overlaps.
+        assert ranges[0][0] == 0 and ranges[-1][1] == n
+        for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+            assert hi == lo
+        sizes = [hi - lo for lo, hi in ranges]
+        if n > 0:
+            # Never more ranges than groups, never an empty range, balanced.
+            assert len(ranges) == min(shards, n)
+            assert min(sizes) >= 1
+            assert max(sizes) - min(sizes) <= 1
+
+    def test_empty_input(self):
+        assert split_ranges(0, 4) == [(0, 0)]
+
+
+class TestGroupRangeShardsBitIdentity:
+    """The group-range sharder vs the unsharded kernels, directly."""
+
+    @given(
+        n_groups=st.integers(min_value=1, max_value=12),
+        shards=st.integers(min_value=1, max_value=9),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_all_kernels_concatenate_bit_identically(self, n_groups, shards, data):
+        n = data.draw(st.integers(min_value=0, max_value=60))
+        codes = np.asarray(
+            data.draw(st.lists(st.integers(min_value=0, max_value=n_groups - 1), min_size=n, max_size=n)),
+            dtype=np.int64,
+        )
+        values = np.asarray(
+            data.draw(
+                st.lists(
+                    st.one_of(st.just(float("nan")), finite_floats), min_size=n, max_size=n
+                )
+            ),
+            dtype=np.float64,
+        )
+        reference = GroupedAggregator(codes, values, n_groups)
+        ranges = GroupRangeShards(codes, n_groups, shards)
+        parts = [
+            GroupedAggregator(part_codes, values[rows], hi - lo)
+            for part_codes, rows, (lo, hi) in zip(ranges.codes, ranges.rows, ranges.ranges)
+        ]
+        for func in AGG_FUNCS:
+            want = reference.compute(func)
+            got = np.concatenate([part.compute(func) for part in parts])
+            assert got.shape == want.shape
+            assert np.array_equal(got, want, equal_nan=True), func
+
+
+class TestShardStats:
+    def table(self):
+        rng = np.random.default_rng(1)
+        return Table(
+            [
+                Column("key", rng.integers(0, 8, size=80).astype(np.float64), dtype=DType.NUMERIC),
+                Column("cat", [str(c) for c in rng.choice(list("abc"), size=80)], dtype=DType.CATEGORICAL),
+                Column("val", rng.normal(size=80), dtype=DType.NUMERIC),
+            ]
+        )
+
+    def batch(self):
+        return [
+            PredicateAwareQuery(func, "val", ("key",), {"cat": value}, {"cat": DType.CATEGORICAL})
+            for value in "abc"
+            for func in ("SUM", "MEDIAN")
+        ]
+
+    def test_plan_sharding_books_observability_counters(self):
+        engine = sharded_engine(self.table(), "numpy", 3, "plan")
+        engine.execute_batch(self.batch())
+        stats = engine.stats
+        assert stats.workers == 3
+        assert stats.sharded_batches == 1
+        # Three fused plans, all dispatched; heavy plans may split into
+        # aggregate-spec units, so the unit count can exceed the plan count.
+        assert stats.plan_shards >= 3
+        assert stats.group_shards == 0
+        assert stats.seconds_sharding > 0.0
+        assert stats.shard_seconds and all(k.startswith("w") for k in stats.shard_seconds)
+        assert 0.0 < stats.worker_utilisation <= 1.0
+        assert stats.as_dict()["worker_utilisation"] == stats.worker_utilisation
+
+    def test_group_sharding_books_observability_counters(self):
+        engine = sharded_engine(self.table(), "numpy", 3, "group")
+        engine.execute_batch(self.batch())
+        stats = engine.stats
+        assert stats.sharded_batches == 0
+        assert stats.plan_shards == 0
+        assert stats.group_shards > 0
+        assert stats.shard_seconds and all(k.startswith("g") for k in stats.shard_seconds)
+
+    def test_stats_counters_identical_serial_vs_sharded(self):
+        """The determinism contract: int counters match at any worker count."""
+        table = self.table()
+        counter_names = (
+            "queries", "batches", "batched_queries", "empty_results",
+            "mask_hits", "mask_misses", "mask_evictions",
+            "result_hits", "result_misses",
+            "group_index_builds", "group_index_reuses",
+        )
+        baselines = None
+        for workers in (1, 4):
+            engine = sharded_engine(table, "numpy", workers, "plan")
+            engine.execute_batch(self.batch())
+            engine.execute_batch(self.batch())  # second pass: result-cache hits
+            counts = {name: getattr(engine.stats, name) for name in counter_names}
+            if baselines is None:
+                baselines = counts
+            else:
+                assert counts == baselines
+
+    def test_delta_since_carries_workers_and_utilisation(self):
+        engine = sharded_engine(self.table(), "numpy", 2, "plan")
+        baseline = engine.stats.as_dict()
+        engine.execute_batch(self.batch())
+        delta = engine.stats.delta_since(baseline)
+        assert delta["workers"] == 2
+        assert delta["sharded_batches"] == 1
+        assert 0.0 <= delta["worker_utilisation"] <= 1.0
+
+    def test_reset_preserves_workers_identity(self):
+        engine = sharded_engine(self.table(), "numpy", 2, "plan")
+        engine.execute_batch(self.batch())
+        engine.stats.reset()
+        assert engine.stats.workers == 2
+        assert engine.stats.sharded_batches == 0
+        assert engine.stats.shard_seconds == {}
