@@ -110,15 +110,14 @@ class FeatAugConfig:
             raise ValueError(f"Unknown proxy {self.proxy!r}")
         if self.search_strategy not in ("tpe", "random"):
             raise ValueError(f"Unknown search strategy {self.search_strategy!r}")
-        if (
-            self.engine_backend is not None
-            or self.engine_workers is not None
-            or self.engine_shard_strategy is not None
-        ):
-            # Delegate to the engine-config validation so the backend /
-            # worker / strategy checks (and their error messages) have
-            # exactly one implementation.
-            self.engine_config().validate()
+        # Delegate to the engine-config validation so the backend / worker /
+        # strategy checks (and their error messages) have exactly one
+        # implementation.  Always run it: even with every engine field left
+        # ``None``, the resolved defaults read $REPRO_ENGINE_BACKEND /
+        # $REPRO_ENGINE_WORKERS, and a garbage environment value should fail
+        # here -- where the run is configured -- rather than at the first
+        # query's engine lookup deep inside the search.
+        self.engine_config().validate()
 
     def engine_config(self):
         """The :class:`repro.query.engine.EngineConfig` the run's shared

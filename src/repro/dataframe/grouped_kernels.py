@@ -16,7 +16,13 @@ Intermediates (NaN-stripped values, group counts, sums, deviations, the
 sorted segments and the value runs) are computed lazily and shared across
 functions, so evaluating all 15 aggregates costs roughly one sort plus a
 handful of ``bincount`` passes -- this is what makes
-``QueryEngine.execute_batch`` scale past the per-group Python loop.
+``QueryEngine.execute_batch`` scale past the per-group Python loop.  The sort
+order itself is an **injectable** intermediate: callers may pass a
+precomputed ``sort_order`` to the constructor or hook an ``order_cache``
+callable onto the aggregator, so the lexsort that dominates the
+order-statistics family (``SORT_BASED_KERNELS``) runs at most once per
+(filter, grouping, value column) -- the query engine caches these orders
+across whole query batches (see ``QueryEngine.sort_order``).
 
 Semantics contract (matching :func:`repro.dataframe.aggregates.aggregate`
 element-wise):
@@ -43,7 +49,7 @@ perturbing a search trajectory by even an ulp.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -51,6 +57,14 @@ from repro.dataframe.aggregates import AGGREGATE_FUNCTIONS, normalise_aggregate_
 
 #: Every aggregate name with a vectorized kernel (all 15 of Table II).
 GROUPED_KERNELS = frozenset(AGGREGATE_FUNCTIONS)
+
+#: Kernels whose evaluation touches the shared (code, value) sort order.
+#: KURTOSIS is here because its zero-variance test reads MIN / MAX off the
+#: sorted segments; the remaining accumulation kernels are pure ``bincount``
+#: passes and never trigger a sort.
+SORT_BASED_KERNELS = frozenset(
+    {"MIN", "MAX", "MEDIAN", "MAD", "MODE", "ENTROPY", "COUNT_DISTINCT", "KURTOSIS"}
+)
 
 
 class GroupedAggregator:
@@ -65,9 +79,23 @@ class GroupedAggregator:
         float64 aggregation values aligned to *codes*; NaN marks missing.
     n_groups:
         Number of output groups (the length of every result array).
+    sort_order:
+        Optional precomputed ``np.lexsort((values, codes))`` order over the
+        **NaN-stripped** rows (see :meth:`sort_order`).  Passing an order
+        computed for the same (codes, values) pair -- e.g. one cached by the
+        query engine across queries of a template -- skips the lexsort that
+        otherwise dominates the order-statistics kernels, and is bit-neutral:
+        lexsort is deterministic, so the provided order is exactly the one
+        the aggregator would compute itself.
     """
 
-    def __init__(self, codes: np.ndarray, values: np.ndarray, n_groups: int):
+    def __init__(
+        self,
+        codes: np.ndarray,
+        values: np.ndarray,
+        n_groups: int,
+        sort_order: Optional[np.ndarray] = None,
+    ):
         codes = np.asarray(codes, dtype=np.int64)
         values = np.asarray(values, dtype=np.float64)
         if codes.shape != values.shape:
@@ -80,9 +108,24 @@ class GroupedAggregator:
             self._codes, self._values = codes, values
         else:
             self._codes, self._values = codes[valid], values[valid]
+        if sort_order is not None and len(sort_order) != len(self._values):
+            raise ValueError(
+                f"sort_order must cover the {len(self._values)} NaN-stripped "
+                f"rows, got {len(sort_order)} entries"
+            )
         self._counts = np.bincount(self._codes, minlength=self.n_groups)
         self._nonempty = self._counts > 0
+        #: Optional external order source: a callable taking this
+        #: aggregator's own compute thunk and returning the (possibly cached)
+        #: order array.  The query engine hooks its LRU sort-order cache in
+        #: here so the lexsort runs at most once per (predicate, keys, value
+        #: column) across queries; left ``None``, the aggregator sorts
+        #: locally exactly as before.
+        self.order_cache: Optional[
+            Callable[[Callable[[], np.ndarray]], np.ndarray]
+        ] = None
         # Lazily shared intermediates.
+        self._order: Optional[np.ndarray] = sort_order
         self._sums: Optional[np.ndarray] = None
         self._means: Optional[np.ndarray] = None
         self._dev: Optional[np.ndarray] = None
@@ -106,6 +149,44 @@ class GroupedAggregator:
     def counts(self) -> np.ndarray:
         """Non-NaN value count per group (``int64``)."""
         return self._counts
+
+    def sort_order(self) -> np.ndarray:
+        """The ``np.lexsort((values, codes))`` order over the stripped rows.
+
+        Resolved at most once: a constructor-provided order wins, else the
+        :attr:`order_cache` hook (the engine's shared cache) is consulted,
+        else the lexsort runs locally.  This is the single order every
+        order-statistics kernel (and the distribution family's value runs)
+        reads through :meth:`_sorted_segments`.
+        """
+        if self._order is None:
+            if self.order_cache is not None:
+                order = self.order_cache(self._compute_sort_order)
+                if len(order) != len(self._values):
+                    # Same guard the constructor applies to a provided
+                    # order: a stale or colliding cached order must fail
+                    # loudly, not silently corrupt every order statistic.
+                    raise ValueError(
+                        f"cached sort order covers {len(order)} rows, "
+                        f"expected {len(self._values)} NaN-stripped rows"
+                    )
+                self._order = order
+            else:
+                self._order = self._compute_sort_order()
+        return self._order
+
+    def _compute_sort_order(self) -> np.ndarray:
+        return np.lexsort((self._values, self._codes))
+
+    def resolve_sort_order(self) -> None:
+        """Force :meth:`sort_order` resolution now (timing-neutral warm-up).
+
+        The engine's backends call this *outside* their per-kernel timer so
+        the lexsort (or the cache lookup replacing it) is accounted to the
+        sorting phase, not to whichever sort-based kernel happens to run
+        first.
+        """
+        self.sort_order()
 
     # ------------------------------------------------------------------
     # Shared intermediates
@@ -144,8 +225,7 @@ class GroupedAggregator:
         only index segments of non-empty groups.
         """
         if self._sorted is None:
-            order = np.lexsort((self._values, self._codes))
-            self._sorted = (self._values[order], self._segment_starts())
+            self._sorted = (self._values[self.sort_order()], self._segment_starts())
         return self._sorted
 
     def _segment_starts(self) -> np.ndarray:
@@ -351,15 +431,23 @@ class GroupedAggregator:
 
 
 def grouped_aggregate(
-    name: str, codes: np.ndarray, values: np.ndarray, n_groups: int
+    name: str,
+    codes: np.ndarray,
+    values: np.ndarray,
+    n_groups: int,
+    sort_order: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """One-shot helper: aggregate *values* per group code with kernel *name*."""
-    return GroupedAggregator(codes, values, n_groups).compute(name)
+    return GroupedAggregator(codes, values, n_groups, sort_order=sort_order).compute(name)
 
 
 def grouped_aggregate_many(
-    names, codes: np.ndarray, values: np.ndarray, n_groups: int
+    names,
+    codes: np.ndarray,
+    values: np.ndarray,
+    n_groups: int,
+    sort_order: Optional[np.ndarray] = None,
 ) -> Dict[str, np.ndarray]:
     """Evaluate several aggregates over one grouping, sharing intermediates."""
-    aggregator = GroupedAggregator(codes, values, n_groups)
+    aggregator = GroupedAggregator(codes, values, n_groups, sort_order=sort_order)
     return {name: aggregator.compute(name) for name in names}

@@ -9,26 +9,36 @@ and distribution families).  Results are **bit-for-bit identical** to the
 per-group Python reference thanks to the accumulation-order contract in
 :mod:`repro.dataframe.aggregates`.
 
-The plan scaffolding (group index, masks, filtered groups, output assembly)
-is shared with the python backend via
-:class:`~repro.query.backends.base.GroupIndexBackend`; shared derived state
-(predicate-mask cache, factorized group index, per-attribute aggregable
-arrays) lives on the owning engine so it is reused across plans and across
-the in-process backends.
+All aggregate specs of a fused plan run in **one pass per value column**:
+the plan scaffolding (shared with the python backend via
+:class:`~repro.query.backends.base.GroupIndexBackend`) iterates the plan's
+``specs_by_attr`` grouping, so every spec of one attribute aggregates off a
+single :class:`GroupedAggregator` whose intermediates -- above all the
+(code, value) lexsort order the order-statistics family shares -- are built
+once.  The order itself is resolved through the engine's LRU **sort-order
+cache** (:meth:`QueryEngine.sort_order`, keyed by ``QueryPlan.sort_key``),
+so queries of one template reuse it *across* plans and batches; the plan
+context carries the resolved orders so the scheduler's aggregate-spec-split
+units of one heavy plan consult the engine cache exactly once per value
+column regardless of the worker count.
 
 Under ``EngineConfig(shard_strategy="group", num_workers=N)`` a single heavy
 plan is split into contiguous group-code ranges
 (:class:`~repro.query.sharding.GroupRangeShards`) and the kernels run once
 per range on the engine's worker pool -- still bit-identical, because groups
-never straddle a range boundary (see :mod:`repro.query.sharding`).  The
-per-plan row selections are memoised in the shared plan context so all
-aggregates of one fused plan reuse them.
+never straddle a range boundary (see :mod:`repro.query.sharding`).  A
+prefetched full order is sliced into per-range local orders instead of each
+range re-sorting.  The per-plan row selections are memoised in the shared
+plan context so all aggregates of one fused plan reuse them.
 """
 
 from __future__ import annotations
 
-from repro.dataframe.grouped_kernels import GroupedAggregator
+import threading
+
+from repro.dataframe.grouped_kernels import SORT_BASED_KERNELS, GroupedAggregator
 from repro.query.backends.base import GroupIndexBackend, register_backend
+from repro.query.plan import QueryPlan
 from repro.query.sharding import GroupRangeShards, ShardedGroupedAggregator
 
 
@@ -36,11 +46,23 @@ from repro.query.sharding import GroupRangeShards, ShardedGroupedAggregator
 class NumpyBackend(GroupIndexBackend):
     """Vectorized grouped-aggregation kernels over the engine's group index."""
 
-    def prepare_attr(self, attr: str, context: dict) -> GroupedAggregator:
+    def plan_context(self, plan: QueryPlan) -> dict:
+        context = super().plan_context(plan)
+        # The plan's resolved sort orders, memoised under one lock *per value
+        # column* so the spec-split units sharing this context consult the
+        # engine's sort-order cache exactly once per column (deterministic
+        # sort_hits / sort_misses at any worker count) while lexsorts for
+        # distinct columns still run concurrently.
+        context["sort_orders"] = {}
+        context["sort_locks"] = {attr: threading.Lock() for attr in context["sort_keys"]}
+        return context
+
+    def prepare_attr(self, attr: str, context: dict):
         row_idx = context["row_idx"]
         values = self.engine.agg_values(attr, row_idx)
         if row_idx is not None:
             values = values[row_idx]
+        order_cache = self._order_cache(attr, context)
         sharder = self.engine.sharder
         if sharder.group_range_active(context["n_groups"]):
             shards = context.get("group_shards")
@@ -49,8 +71,42 @@ class NumpyBackend(GroupIndexBackend):
                     context["codes"], context["n_groups"], sharder.num_workers
                 )
                 context["group_shards"] = shards
-            return ShardedGroupedAggregator(shards, values, sharder)
-        return GroupedAggregator(context["codes"], values, context["n_groups"])
+            return ShardedGroupedAggregator(
+                shards, values, sharder, order_cache=order_cache
+            )
+        aggregator = GroupedAggregator(context["codes"], values, context["n_groups"])
+        aggregator.order_cache = order_cache
+        return aggregator
+
+    def _order_cache(self, attr: str, context: dict):
+        """A memoising accessor onto the engine's shared sort-order cache.
+
+        Returns ``order_cache(compute) -> order``: the plan-context memo is
+        checked first (idempotent across the plan's scheduling units), then
+        the engine cache (reuse across plans and batches), and only then
+        does *compute* -- the aggregator's own lexsort thunk -- run, timed
+        into ``seconds_sorting`` by the engine.
+        """
+        engine = self.engine
+        sort_key = context["sort_keys"].get(attr)
+        orders, lock = context["sort_orders"], context["sort_locks"][attr]
+
+        def order_cache(compute):
+            with lock:
+                order = orders.get(attr)
+                if order is None:
+                    order = engine.sort_order(sort_key, compute)
+                    orders[attr] = order
+                return order
+
+        return order_cache
+
+    def before_aggregate(self, func: str, prepared) -> None:
+        # Resolve the shared order outside the kernel timer, so
+        # kernel_seconds / seconds_aggregating measure the kernel's own work
+        # and the lexsort books exactly once, into seconds_sorting.
+        if func in SORT_BASED_KERNELS:
+            prepared.resolve_sort_order()
 
     def aggregate(self, func: str, prepared):
         return prepared.compute(func)

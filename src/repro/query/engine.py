@@ -18,12 +18,16 @@ re-scan every WHERE predicate) wastes almost all of that work, so a
    over an in-memory database; third parties register more via
    ``@register_backend``).
 3. **Shared derived state** -- a factorized group index per key combination,
-   an LRU predicate-mask cache keyed by atom signature, a per-attribute
-   aggregable-array cache (used by the in-process backends) and an LRU
-   result cache keyed by plan signature (TPE frequently re-samples identical
-   queries), plus cache / timing statistics (:class:`EngineStats`, including
-   the backend name, worker count, per-backend wall-clock split and
-   per-shard busy time) consumed by the Figure 5 benchmarks.
+   an LRU predicate-mask cache keyed by atom signature, an LRU **sort-order
+   cache** keyed by ``(predicate signature, keys, attr)`` (the lexsort that
+   dominates the order-statistics kernels runs once per filter/grouping/
+   value-column triple and is reused across plans and batches of one
+   template), a per-attribute aggregable-array cache (used by the in-process
+   backends) and an LRU result cache keyed by plan signature (TPE frequently
+   re-samples identical queries), plus cache / timing statistics
+   (:class:`EngineStats`, including the backend name, worker count,
+   per-backend wall-clock split and per-shard busy time) consumed by the
+   Figure 5 benchmarks.
 4. **Sharded parallel execution** -- with ``EngineConfig(num_workers > 1)``
    the engine's :class:`~repro.query.sharding.ShardScheduler` either
    partitions a batch's fused plans across a thread pool of per-worker
@@ -94,6 +98,11 @@ DEFAULT_MASK_CACHE_SIZE = 256
 #: Default bound on the number of cached query results per engine.
 DEFAULT_RESULT_CACHE_SIZE = 128
 
+#: Default bound on the number of cached sort orders per engine.  Orders are
+#: int64 arrays of filtered-row length (8x a boolean mask), so the bound is
+#: deliberately tighter than the mask cache's.
+DEFAULT_SORT_CACHE_SIZE = 64
+
 #: Environment variable overriding the default backend name (used by the CI
 #: backend matrix to replay the query suites per backend).
 BACKEND_ENV_VAR = "REPRO_ENGINE_BACKEND"
@@ -105,8 +114,22 @@ _KERNEL_MODE_BACKENDS = {"vectorized": "numpy", "python": "python"}
 
 
 def default_backend_name() -> str:
-    """The process-wide default backend: ``$REPRO_ENGINE_BACKEND`` or numpy."""
-    return os.environ.get(BACKEND_ENV_VAR, "").strip() or "numpy"
+    """The process-wide default backend: ``$REPRO_ENGINE_BACKEND`` or numpy.
+
+    Raises ``ValueError`` when the environment names an unregistered
+    backend -- eagerly, so a typo surfaces where the config is resolved
+    (engine construction, ``FeatAugConfig.validate``) instead of deep inside
+    the registry lookup at the first query.
+    """
+    raw = os.environ.get(BACKEND_ENV_VAR, "").strip()
+    if not raw:
+        return "numpy"
+    if raw not in backend_names():
+        raise ValueError(
+            f"${BACKEND_ENV_VAR} names an unknown execution backend {raw!r}; "
+            f"registered backends: {backend_names()}"
+        )
+    return raw
 
 
 @dataclass(frozen=True)
@@ -128,6 +151,25 @@ class EngineConfig:
     result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE
     num_workers: Optional[int] = None
     shard_strategy: str = "plan"
+    #: Bound on the engine's shared sort-order cache; ``0`` disables it (the
+    #: order-statistics kernels then re-sort per plan, the pre-cache
+    #: behaviour -- the benchmark baseline uses this).
+    sort_cache_size: int = DEFAULT_SORT_CACHE_SIZE
+
+    def __post_init__(self) -> None:
+        # An explicitly-named backend is validated eagerly: a typo'd
+        # EngineConfig(backend=...) / --engine-backend / FeatAugConfig value
+        # should fail where it is written, not at the first query.
+        # ``backend=None`` stays lazy by design (the environment default is
+        # resolved -- and validated -- at use time).
+        if self.backend is not None:
+            name = self.backend.strip()
+            object.__setattr__(self, "backend", name or None)
+            if name and name not in backend_names():
+                raise ValueError(
+                    f"Unknown execution backend {name!r}; "
+                    f"registered backends: {backend_names()}"
+                )
 
     @property
     def backend_name(self) -> str:
@@ -151,6 +193,8 @@ class EngineConfig:
             )
         if self.mask_cache_size < 1 or self.result_cache_size < 1:
             raise ValueError("Cache sizes must be >= 1")
+        if self.sort_cache_size < 0:
+            raise ValueError("sort_cache_size must be >= 0 (0 disables the cache)")
         if self.shard_strategy not in SHARD_STRATEGIES:
             raise ValueError(
                 f"Unknown shard strategy {self.shard_strategy!r}; "
@@ -169,6 +213,7 @@ class EngineConfig:
             self.result_cache_size,
             self.worker_count,
             self.shard_strategy,
+            self.sort_cache_size,
         )
 
 
@@ -198,6 +243,12 @@ class EngineStats:
     mask_evictions: int = 0
     result_hits: int = 0
     result_misses: int = 0
+    #: Sort-order cache traffic: one hit or miss per (plan, value column)
+    #: that evaluates an order-statistics kernel (see
+    #: :meth:`QueryEngine.sort_order`); accumulation-only plans never
+    #: consult the cache.
+    sort_hits: int = 0
+    sort_misses: int = 0
     group_index_builds: int = 0
     group_index_reuses: int = 0
     vectorized_aggregations: int = 0
@@ -206,6 +257,11 @@ class EngineStats:
     seconds_indexing: float = 0.0
     seconds_grouping: float = 0.0
     seconds_aggregating: float = 0.0
+    #: Wall-clock spent computing (code, value) lexsort orders on sort-order
+    #: cache misses.  This time used to hide inside the first sort-based
+    #: kernel's ``kernel_seconds`` entry; it is now booked here, so the
+    #: per-kernel split measures the kernels' own work off the shared order.
+    seconds_sorting: float = 0.0
     #: Aggregation seconds split per kernel (canonical aggregate name ->
     #: cumulative wall-clock), maintained by every backend.
     kernel_seconds: Dict[str, float] = field(default_factory=dict)
@@ -251,13 +307,20 @@ class EngineStats:
 
         Capacity is ``workers * seconds_sharding`` -- what the pool could
         have worked during the parallel sections; 1.0 means every worker was
-        busy the whole time (perfectly balanced shards).  Takes the stats
-        lock: the summed dict may be growing under a live poller's feet.
+        busy the whole time (perfectly balanced shards).  The ratio is
+        clamped to 1.0: ``shard_seconds`` mixes plan-level (``w*``) and
+        group-range (``g*``) keys accumulated over the engine's whole
+        lifetime, and per-batch timer skew between the coordinator's
+        section clock and the workers' busy clocks can nudge the summed
+        lifetime ratio past true capacity on long-lived engines.  Per-run
+        reports should prefer the windowed value :meth:`delta_since`
+        computes from snapshot deltas.  Takes the stats lock: the summed
+        dict may be growing under a live poller's feet.
         """
         with self._lock:
             capacity = self.workers * self.seconds_sharding
             busy = sum(self.shard_seconds.values())
-        return busy / capacity if capacity > 0.0 else 0.0
+        return min(1.0, busy / capacity) if capacity > 0.0 else 0.0
 
     def bump(self, **deltas) -> None:
         """Atomically add *deltas* to scalar counters / timers."""
@@ -343,8 +406,12 @@ class EngineStats:
         results = delta["result_hits"] + delta["result_misses"]
         delta["result_hit_rate"] = delta["result_hits"] / results if results else 0.0
         capacity = delta["workers"] * delta["seconds_sharding"]
+        # Per-delta utilisation, clamped like the lifetime property: the
+        # busy/capacity ratio of *this window's* sharding traffic only.
         delta["worker_utilisation"] = (
-            sum(delta["shard_seconds"].values()) / capacity if capacity > 0.0 else 0.0
+            min(1.0, sum(delta["shard_seconds"].values()) / capacity)
+            if capacity > 0.0
+            else 0.0
         )
         return delta
 
@@ -501,6 +568,14 @@ class QueryEngine:
         self._index_lock = threading.Lock()
         self._masks = _LRUCache(self.config.mask_cache_size)
         self._results = _LRUCache(self.config.result_cache_size)
+        # Shared lexsort orders keyed by (predicate signature, keys, attr) --
+        # QueryPlan.sort_key -- so queries of one template reuse the
+        # order-statistics sort across plans and batches.  None = disabled.
+        self._sort_orders: Optional[_LRUCache] = (
+            _LRUCache(self.config.sort_cache_size)
+            if self.config.sort_cache_size > 0
+            else None
+        )
         self._agg_arrays: Dict[str, np.ndarray] = {}
         self._agg_lock = threading.Lock()
         self.backend: ExecutionBackend = make_backend(self.backend_name)
@@ -591,6 +666,31 @@ class QueryEngine:
         if column.is_numeric_like or row_idx is None:
             return self._full_agg_values(attr)
         return column_to_aggregable(column, rows=row_idx)
+
+    def sort_order(self, key: Optional[tuple], compute) -> np.ndarray:
+        """The cached (code, value) lexsort order under *key*.
+
+        *key* is :meth:`QueryPlan.sort_key`'s ``(predicate signature, keys,
+        attr)`` triple (``None`` = uncacheable WHERE clause) and *compute* is
+        a zero-argument callable producing the order array for a miss --
+        typically :meth:`GroupedAggregator._compute_sort_order` over the
+        plan's NaN-stripped filtered rows.  Misses book their wall-clock
+        into ``seconds_sorting``; hits skip the lexsort entirely, which is
+        the point: TPE template batches re-sort the same (mask, group keys,
+        value column) triple once per query without this cache.  Cached
+        orders are immutable by the same contract as cached masks.
+        """
+        if self._sort_orders is not None and key is not None:
+            cached = self._sort_orders.get(key)
+            if cached is not None:
+                self.stats.bump(sort_hits=1)
+                return cached
+        start = time.perf_counter()
+        order = compute()
+        self.stats.bump(sort_misses=1, seconds_sorting=time.perf_counter() - start)
+        if self._sort_orders is not None and key is not None:
+            self._sort_orders.put(key, order)
+        return order
 
     def _atom_mask(self, signature: Optional[tuple], predicate: Predicate) -> np.ndarray:
         if signature is not None:
@@ -786,14 +886,20 @@ class QueryEngine:
     def result_cache_len(self) -> int:
         return len(self._results)
 
+    @property
+    def sort_cache_len(self) -> int:
+        return len(self._sort_orders) if self._sort_orders is not None else 0
+
     def clear_caches(self) -> None:
-        """Drop all derived state: masks, results, indexes, aggregable arrays,
-        the backend's private materialisations, and the shard scheduler's
-        worker backends / pool.  Statistics counters are lifetime counters
-        and are deliberately left untouched; use :meth:`reset` for a fully
-        cold engine."""
+        """Drop all derived state: masks, results, sort orders, indexes,
+        aggregable arrays, the backend's private materialisations, and the
+        shard scheduler's worker backends / pool.  Statistics counters are
+        lifetime counters and are deliberately left untouched; use
+        :meth:`reset` for a fully cold engine."""
         self._masks.clear()
         self._results.clear()
+        if self._sort_orders is not None:
+            self._sort_orders.clear()
         self._indexes.clear()
         self._agg_arrays.clear()
         self.backend.clear()

@@ -26,7 +26,7 @@ build inline:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.dataframe.aggregates import AGGREGATE_FUNCTIONS, normalise_aggregate_name
 from repro.dataframe.column import DType
@@ -158,6 +158,21 @@ class QueryPlan:
         """Copy of this plan with the aggregate list replaced (plan fusion)."""
         return replace(self, aggregates=tuple(aggregates))
 
+    def specs_by_attr(self) -> Dict[str, List[Tuple[int, AggregateSpec]]]:
+        """Aggregate specs grouped per value column, keeping spec positions.
+
+        Returns ``{attr: [(position, spec), ...]}`` in first-appearance
+        attribute order.  Backends iterate this to run **one shared
+        aggregation pass per value column** of a fused plan: every spec of
+        one attribute reuses the same prepared aggregator (and, for the
+        order-statistics family, the same sort order), while result tables
+        are still assembled in spec-position order.
+        """
+        grouped: Dict[str, List[Tuple[int, AggregateSpec]]] = {}
+        for position, spec in enumerate(self.aggregates):
+            grouped.setdefault(spec.attr, []).append((position, spec))
+        return grouped
+
     # ------------------------------------------------------------------
     # Canonical signatures
     # ------------------------------------------------------------------
@@ -181,6 +196,18 @@ class QueryPlan:
         if signature is None:
             return None
         return (signature, self.keys)
+
+    def sort_key(self, attr: str) -> Optional[tuple]:
+        """Sort-order cache key of value column *attr*: ``(predicate
+        signature, keys, attr)`` -- the triple that determines the
+        (filter, grouping, value column) lexsort order the order-statistics
+        kernels share.  ``None`` when the WHERE clause is uncacheable, like
+        the other signatures.
+        """
+        signature = self.predicate_signature()
+        if signature is None:
+            return None
+        return (signature, self.keys, attr)
 
     def result_key(self, position: int = 0) -> Optional[tuple]:
         """Result-cache key of the aggregate at *position* (``None`` = uncacheable)."""

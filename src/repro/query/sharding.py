@@ -114,6 +114,9 @@ class GroupRangeShards:
 
     def __init__(self, codes: np.ndarray, n_groups: int, num_shards: int):
         self.n_groups = int(n_groups)
+        #: The plan's full compact codes (all ranges); kept so a prefetched
+        #: full-table sort order can be sliced into per-range orders.
+        self.all_codes = np.asarray(codes, dtype=np.int64)
         self.ranges = split_ranges(self.n_groups, num_shards)
         self.rows: List[np.ndarray] = []
         self.codes: List[np.ndarray] = []
@@ -134,16 +137,85 @@ class ShardedGroupedAggregator:
     aggregates, exactly like the unsharded aggregator does globally) and
     concatenates per-range results in code order -- which *is* group order,
     because the ranges partition ``[0, n_groups)`` contiguously.
+
+    With an *order_cache* (the engine's shared sort-order cache accessor),
+    the plan's **full** filtered lexsort order is resolved once and sliced
+    into per-range local orders (:meth:`_slice_full_order`) instead of each
+    shard paying its own lexsort.  Slicing is bit-neutral: the full order
+    sorts by (code, value, original row) and the code ranges are contiguous,
+    so each range's slice, re-indexed into range-local row positions, is
+    exactly the order the shard's own stable lexsort would produce.
     """
 
     def __init__(
-        self, shards: GroupRangeShards, values: np.ndarray, scheduler: "ShardScheduler"
+        self,
+        shards: GroupRangeShards,
+        values: np.ndarray,
+        scheduler: "ShardScheduler",
+        order_cache=None,
     ):
         self._scheduler = scheduler
+        self._shards = shards
+        self._values = np.asarray(values, dtype=np.float64)
+        self._order_cache = order_cache
+        self._orders: Optional[List[np.ndarray]] = None
+        self._order_lock = threading.Lock()
         self._parts = [
             GroupedAggregator(codes, values[rows], hi - lo)
             for codes, rows, (lo, hi) in zip(shards.codes, shards.rows, shards.ranges)
         ]
+        if order_cache is not None:
+            for i, part in enumerate(self._parts):
+                # Each part's first sort-based kernel resolves the shared
+                # full order (once, lock-protected) and reads its own slice;
+                # the part's local compute thunk is ignored on purpose.
+                part.order_cache = lambda _compute, i=i: self._part_orders()[i]
+
+    def resolve_sort_order(self) -> None:
+        """Resolve + slice the shared full order now (timing-neutral warm-up,
+        mirroring :meth:`GroupedAggregator.resolve_sort_order`).  Without an
+        order cache the parts sort locally inside their own kernels, exactly
+        as before."""
+        if self._order_cache is not None:
+            self._part_orders()
+
+    def _part_orders(self) -> List[np.ndarray]:
+        """Per-range local sort orders, resolved once for all parts.
+
+        The lock keeps the engine-cache consultation to exactly one per
+        (plan, value column) even though the parts run concurrently on the
+        shard workers -- so ``sort_hits`` / ``sort_misses`` book the same
+        totals at every worker count.
+        """
+        orders = self._orders
+        if orders is None:
+            with self._order_lock:
+                if self._orders is None:
+                    self._orders = self._slice_full_order()
+                orders = self._orders
+        return orders
+
+    def _slice_full_order(self) -> List[np.ndarray]:
+        codes, values = self._shards.all_codes, self._values
+        valid = ~np.isnan(values)
+        if valid.all():
+            scodes, svalues = codes, values
+        else:
+            scodes, svalues = codes[valid], values[valid]
+        full = self._order_cache(lambda: np.lexsort((svalues, scodes)))
+        counts = np.bincount(scodes, minlength=self._shards.n_groups)
+        bounds = np.concatenate(([0], np.cumsum(counts)))
+        orders: List[np.ndarray] = []
+        for lo, hi in self._shards.ranges:
+            chunk = full[bounds[lo]:bounds[hi]]
+            # The chunk holds exactly this range's stripped-row positions;
+            # sorting it recovers them in ascending order (cheaper than
+            # rescanning scodes per range), and mapping the chunk through
+            # them yields range-local stripped indices while preserving the
+            # stable tie-break order.
+            in_range = np.sort(chunk)
+            orders.append(np.searchsorted(in_range, chunk))
+        return orders
 
     def compute(self, name: str) -> np.ndarray:
         results = self._scheduler.map_shards(

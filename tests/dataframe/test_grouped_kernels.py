@@ -19,6 +19,7 @@ from hypothesis import given, settings, strategies as st
 from repro.dataframe.aggregates import AGGREGATE_FUNCTIONS, aggregate
 from repro.dataframe.grouped_kernels import (
     GROUPED_KERNELS,
+    SORT_BASED_KERNELS,
     GroupedAggregator,
     grouped_aggregate,
     grouped_aggregate_many,
@@ -84,6 +85,119 @@ class TestKernelEquivalenceProperties:
             assert_same_nan_placement(got, lone, name)
             finite = ~np.isnan(lone)
             assert np.array_equal(got[finite], lone[finite]), f"{name} order-dependent"
+
+
+@st.composite
+def nan_bearing_grouped_inputs(draw, max_rows=60):
+    """(codes, values, n_groups) where **every group carries NaN rows**.
+
+    The generic strategy injects NaNs probabilistically; this one guarantees
+    NaN-bearing groups (NaN rows interleaved at arbitrary positions between
+    finite values, duplicated values included so MODE/ENTROPY runs straddle
+    NaN gaps), pinning the lexsort-driven kernels' NaN placement explicitly.
+    """
+    n_groups = draw(st.integers(min_value=1, max_value=6))
+    codes_list, values_list = [], []
+    for g in range(n_groups):
+        n = draw(st.integers(min_value=1, max_value=max_rows // n_groups + 1))
+        finite = st.one_of(nasty_floats, st.sampled_from([0.0, -0.0, 1.5, -1.5]))
+        group_values = draw(
+            st.lists(st.one_of(st.just(float("nan")), finite), min_size=n, max_size=n)
+        )
+        # At least one NaN per group, at a drawn position.
+        group_values.insert(draw(st.integers(0, n)), float("nan"))
+        values_list.extend(group_values)
+        codes_list.extend([g] * len(group_values))
+    # Interleave groups: a drawn permutation keeps per-group row order
+    # irrelevant to the test's point while exercising scattered codes.
+    order = draw(st.permutations(range(len(codes_list))))
+    codes = np.asarray([codes_list[i] for i in order], dtype=np.int64)
+    values = np.asarray([values_list[i] for i in order], dtype=np.float64)
+    return codes, values, n_groups
+
+
+class TestNaNPlacementInSortDrivenKernels:
+    """NaN semantics of the lexsort-driven family, pinned bit-for-bit.
+
+    MEDIAN / MAD / MODE / ENTROPY (plus the rest of ``SORT_BASED_KERNELS``)
+    strip NaNs *before* sorting, so a NaN row must never shift a segment
+    boundary or split an equal-value run -- the per-group Python reference
+    (which cleans each group independently) is the oracle.
+    """
+
+    @pytest.mark.parametrize("name", sorted(SORT_BASED_KERNELS))
+    @given(data=nan_bearing_grouped_inputs())
+    @settings(max_examples=40, deadline=None)
+    def test_bit_identical_on_nan_bearing_groups(self, name, data):
+        codes, values, n_groups = data
+        got = grouped_aggregate(name, codes, values, n_groups)
+        want = reference(name, codes, values, n_groups)
+        assert_same_nan_placement(got, want, name)
+        finite = ~np.isnan(want)
+        assert np.array_equal(got[finite], want[finite]), f"{name}: {got} != {want}"
+
+    @given(data=nan_bearing_grouped_inputs())
+    @settings(max_examples=25, deadline=None)
+    def test_provided_sort_order_is_bit_neutral(self, data):
+        """A constructor-provided order (the engine's cached one) must
+        reproduce the locally-sorted results bit-for-bit on NaN-bearing
+        groups -- the order covers the NaN-stripped rows only."""
+        codes, values, n_groups = data
+        donor = GroupedAggregator(codes, values, n_groups)
+        order = donor.sort_order()
+        for name in sorted(SORT_BASED_KERNELS):
+            got = grouped_aggregate(name, codes, values, n_groups, sort_order=order)
+            want = reference(name, codes, values, n_groups)
+            assert_same_nan_placement(got, want, name)
+            finite = ~np.isnan(want)
+            assert np.array_equal(got[finite], want[finite]), name
+
+    @given(data=nan_bearing_grouped_inputs())
+    @settings(max_examples=25, deadline=None)
+    def test_order_cache_hook_is_bit_neutral(self, data):
+        """The ``order_cache`` hook path (how the engine injects cached
+        orders) is exercised exactly once and is bit-neutral."""
+        codes, values, n_groups = data
+        donor = GroupedAggregator(codes, values, n_groups)
+        calls = []
+
+        def cache(compute):
+            calls.append(compute)
+            return donor.sort_order()
+
+        aggregator = GroupedAggregator(codes, values, n_groups)
+        aggregator.order_cache = cache
+        for name in sorted(SORT_BASED_KERNELS):
+            got = aggregator.compute(name)
+            want = reference(name, codes, values, n_groups)
+            assert_same_nan_placement(got, want, name)
+            finite = ~np.isnan(want)
+            assert np.array_equal(got[finite], want[finite]), name
+        assert len(calls) == 1  # one shared order across every sort-based kernel
+
+    def test_sort_order_covers_stripped_rows_only(self):
+        codes = np.asarray([0, 0, 1, 1], dtype=np.int64)
+        values = np.asarray([2.0, np.nan, 1.0, np.nan])
+        assert len(GroupedAggregator(codes, values, 2).sort_order()) == 2
+
+    def test_misaligned_provided_order_rejected(self):
+        codes = np.asarray([0, 0, 1], dtype=np.int64)
+        values = np.asarray([2.0, np.nan, 1.0])
+        with pytest.raises(ValueError, match="sort_order"):
+            GroupedAggregator(codes, values, 2, sort_order=np.arange(3))
+
+    def test_accumulation_kernels_never_resolve_an_order(self):
+        """SUM / AVG / VAR / STD stay pure bincount passes: the order cache
+        must not be consulted (laziness is what keeps accumulation-only
+        plans sort-free in the engine)."""
+        codes = np.asarray([0, 1, 0, 1], dtype=np.int64)
+        values = np.asarray([1.0, 2.0, np.nan, 4.0])
+        aggregator = GroupedAggregator(codes, values, 2)
+        aggregator.order_cache = lambda compute: pytest.fail(
+            "accumulation kernel resolved a sort order"
+        )
+        for name in sorted(GROUPED_KERNELS - SORT_BASED_KERNELS):
+            aggregator.compute(name)
 
 
 class TestEdgeCaseSemantics:

@@ -18,6 +18,7 @@ from repro.query.backends import (
 from repro.query.engine import (
     BACKEND_ENV_VAR,
     EngineConfig,
+    EngineStats,
     QueryEngine,
     default_backend_name,
     engine_for,
@@ -130,6 +131,116 @@ class TestEngineConfig:
     def test_invalid_cache_sizes_rejected(self):
         with pytest.raises(ValueError):
             QueryEngine(make_relevant(0), config=EngineConfig(mask_cache_size=0))
+
+    def test_negative_sort_cache_size_rejected(self):
+        with pytest.raises(ValueError, match="sort_cache_size"):
+            QueryEngine(make_relevant(0), config=EngineConfig(sort_cache_size=-1))
+
+    def test_zero_sort_cache_size_disables_the_cache(self):
+        engine = QueryEngine(make_relevant(0), config=EngineConfig(sort_cache_size=0))
+        assert engine.sort_cache_len == 0
+
+    def test_engine_for_is_keyed_by_sort_cache_size(self):
+        table = make_relevant(0)
+        assert engine_for(table) is not engine_for(table, EngineConfig(sort_cache_size=8))
+
+
+class TestBackendValidationEagerness:
+    """Unknown backend names fail at config resolution, naming the registered
+    backends -- not at the first query deep inside the registry lookup
+    (mirrors the $REPRO_ENGINE_WORKERS parsing tests below)."""
+
+    def test_explicit_unknown_backend_fails_at_config_construction(self):
+        with pytest.raises(ValueError, match=r"Unknown execution backend 'duckdb'.*numpy"):
+            EngineConfig(backend="duckdb")
+
+    @pytest.mark.parametrize("raw", ["garbage", "  garbage  ", "NUMPY", "numpy python"])
+    def test_explicit_garbage_values_rejected(self, raw):
+        with pytest.raises(ValueError, match="Unknown execution backend"):
+            EngineConfig(backend=raw)
+
+    def test_explicit_backend_whitespace_is_stripped(self):
+        config = EngineConfig(backend="  sqlite  ")
+        assert config.backend == "sqlite"
+        assert config.backend_name == "sqlite"
+
+    def test_blank_explicit_backend_falls_back_to_default(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        for raw in ("", "   "):
+            config = EngineConfig(backend=raw)
+            assert config.backend is None
+            assert config.backend_name == "numpy"
+
+    @pytest.mark.parametrize("raw", ["garbage", "  garbage  ", "duckdb"])
+    def test_env_var_garbage_rejected_at_resolution(self, monkeypatch, raw):
+        monkeypatch.setenv(BACKEND_ENV_VAR, raw)
+        with pytest.raises(ValueError, match=f"REPRO_ENGINE_BACKEND.*{raw.strip()}"):
+            default_backend_name()
+        with pytest.raises(ValueError, match="REPRO_ENGINE_BACKEND"):
+            EngineConfig().validate()
+        with pytest.raises(ValueError, match="REPRO_ENGINE_BACKEND"):
+            QueryEngine(make_relevant(0))
+
+    @pytest.mark.parametrize("raw", ["", "   "])
+    def test_blank_env_value_means_the_numpy_default(self, monkeypatch, raw):
+        monkeypatch.setenv(BACKEND_ENV_VAR, raw)
+        assert default_backend_name() == "numpy"
+
+    def test_whitespace_env_value_parses(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "  sqlite  ")
+        assert default_backend_name() == "sqlite"
+
+    def test_feataug_config_validates_env_backend_eagerly(self, monkeypatch):
+        from repro.core.config import FeatAugConfig
+
+        monkeypatch.setenv(BACKEND_ENV_VAR, "garbage")
+        with pytest.raises(ValueError, match="REPRO_ENGINE_BACKEND"):
+            FeatAugConfig().validate()
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        with pytest.raises(ValueError, match="Unknown execution backend"):
+            FeatAugConfig(engine_backend="garbage").validate()
+
+
+class TestWorkerUtilisation:
+    """The derived utilisation is computed per-delta and clamped: lifetime
+    ``shard_seconds`` mixes plan-level (w*) and group-range (g*) keys across
+    all batches, and timer skew could otherwise drift the ratio past 1.0 on
+    long-lived engines."""
+
+    def test_lifetime_ratio_clamps_at_one(self):
+        stats = EngineStats(backend="numpy", workers=2)
+        stats.bump(seconds_sharding=1.0)
+        stats.add_split("shard_seconds", "w0", 1.5)
+        stats.add_split("shard_seconds", "g0", 1.0)  # mixed keys accumulate
+        assert stats.worker_utilisation == 1.0
+        assert stats.as_dict()["worker_utilisation"] == 1.0
+
+    def test_delta_reports_the_window_not_the_lifetime(self):
+        stats = EngineStats(backend="numpy", workers=2)
+        stats.bump(seconds_sharding=1.0)
+        stats.add_split("shard_seconds", "w0", 2.5)  # drifted earlier traffic
+        baseline = stats.as_dict()
+        stats.bump(seconds_sharding=2.0)
+        stats.add_split("shard_seconds", "w0", 1.0)
+        delta = stats.delta_since(baseline)
+        # 1.0 busy over 2 workers x 2.0s capacity -- the window alone.
+        assert delta["worker_utilisation"] == 0.25
+        # The lifetime ratio ((2.5 + 1.0) / (2 * 3.0)) blends the drifted
+        # early traffic into every later reading -- which is exactly why
+        # per-run reports go through delta_since.
+        assert stats.worker_utilisation == pytest.approx(3.5 / 6.0)
+
+    def test_delta_clamps_too(self):
+        stats = EngineStats(backend="numpy", workers=1)
+        baseline = stats.as_dict()
+        stats.bump(seconds_sharding=1.0)
+        stats.add_split("shard_seconds", "w0", 1.25)
+        assert stats.delta_since(baseline)["worker_utilisation"] == 1.0
+
+    def test_serial_engines_report_zero(self):
+        stats = EngineStats(backend="numpy", workers=1)
+        assert stats.worker_utilisation == 0.0
+        assert stats.delta_since(stats.as_dict())["worker_utilisation"] == 0.0
 
 
 class TestWorkerConfig:
@@ -260,7 +371,14 @@ class TestStateResetContract:
 
     def warmed_engine(self, backend: str) -> QueryEngine:
         engine = QueryEngine(make_relevant(0), config=EngineConfig(backend=backend))
-        engine.execute_batch([query_with("a"), query_with("a", "AVG"), query_with("b")])
+        engine.execute_batch(
+            [
+                query_with("a"),
+                query_with("a", "AVG"),
+                query_with("a", "MEDIAN"),  # warms the sort-order cache (numpy)
+                query_with("b"),
+            ]
+        )
         engine.execute(query_with("a"))  # result-cache hit
         return engine
 
@@ -271,6 +389,7 @@ class TestStateResetContract:
         engine.clear_caches()
         assert engine.mask_cache_len == 0
         assert engine.result_cache_len == 0
+        assert engine.sort_cache_len == 0
         assert engine.stats.as_dict() == before  # counters are lifetime counters
         # Re-running the same query misses every cache again (cold derived state).
         hits = engine.stats.result_hits

@@ -153,6 +153,120 @@ class TestResultCache:
         assert engine.stats.mask_misses == 2
 
 
+class TestSortOrderCache:
+    """Semantics of the shared sort-order cache (numpy backend only: the
+    python backend's per-group loop and the sqlite backend's generated SQL
+    never touch the engine's lexsort orders)."""
+
+    def test_one_miss_per_fused_plan_and_value_column(self):
+        engine = numpy_engine(make_relevant(0))
+        # One fused plan (same predicate, keys): the order-statistics
+        # kernels share a single lexsort -> exactly one miss, no hits.
+        engine.execute_batch(
+            [query_with("a", "MEDIAN"), query_with("a", "MODE"), query_with("a", "MIN")]
+        )
+        assert (engine.stats.sort_misses, engine.stats.sort_hits) == (1, 0)
+        assert engine.sort_cache_len == 1
+
+    def test_hits_across_batches_of_one_template(self):
+        engine = numpy_engine(make_relevant(0))
+        engine.execute_batch([query_with("a", "MEDIAN"), query_with("b", "MEDIAN")])
+        assert (engine.stats.sort_misses, engine.stats.sort_hits) == (2, 0)
+        # New functions, same (predicate, keys, value column) triples: the
+        # result cache misses but every order comes from the sort cache.
+        engine.execute_batch([query_with("a", "MAD"), query_with("b", "ENTROPY")])
+        assert (engine.stats.sort_misses, engine.stats.sort_hits) == (2, 2)
+
+    def test_misses_across_different_masks_and_keys(self):
+        engine = numpy_engine(make_relevant(0))
+        engine.execute(query_with("a", "MEDIAN"))
+        engine.execute(query_with("b", "MEDIAN"))  # different predicate
+        engine.execute(  # different group-by keys
+            PredicateAwareQuery(
+                "MEDIAN", "val", ("key", "cat"), {"cat": "a"}, {"cat": DType.CATEGORICAL}
+            )
+        )
+        assert (engine.stats.sort_misses, engine.stats.sort_hits) == (3, 0)
+        assert engine.sort_cache_len == 3
+
+    def test_accumulation_only_plans_never_consult_the_cache(self):
+        engine = numpy_engine(make_relevant(0))
+        engine.execute_batch([query_with("a", "SUM"), query_with("a", "AVG")])
+        assert (engine.stats.sort_misses, engine.stats.sort_hits) == (0, 0)
+        assert engine.sort_cache_len == 0
+
+    def test_repeated_identical_queries_hit_the_result_cache_first(self):
+        engine = numpy_engine(make_relevant(0))
+        engine.execute(query_with("a", "MEDIAN"))
+        engine.execute(query_with("a", "MEDIAN"))  # result hit: no sort traffic
+        assert (engine.stats.sort_misses, engine.stats.sort_hits) == (1, 0)
+
+    def test_cache_is_bounded_lru(self):
+        engine = numpy_engine(make_relevant(0), sort_cache_size=2)
+        for value in "abcd":
+            engine.execute(query_with(value, "MEDIAN"))
+        assert engine.sort_cache_len <= 2
+        assert engine.stats.sort_misses == 4
+
+    def test_disabled_cache_recomputes_per_plan(self):
+        engine = numpy_engine(make_relevant(0), sort_cache_size=0)
+        engine.execute(query_with("a", "MEDIAN"))
+        engine.execute(query_with("a", "MAD"))
+        assert (engine.stats.sort_misses, engine.stats.sort_hits) == (2, 0)
+        assert engine.sort_cache_len == 0
+        # seconds_sorting books the per-plan lexsorts either way.
+        assert engine.stats.seconds_sorting > 0.0
+
+    def test_clear_caches_drops_orders_but_keeps_counters(self):
+        engine = numpy_engine(make_relevant(0))
+        engine.execute(query_with("a", "MEDIAN"))
+        before = engine.stats.as_dict()
+        engine.clear_caches()
+        assert engine.sort_cache_len == 0
+        assert engine.stats.as_dict() == before  # lifetime counters survive
+        engine.execute(query_with("a", "MAD"))  # cold orders: a fresh miss
+        assert (engine.stats.sort_misses, engine.stats.sort_hits) == (2, 0)
+
+    def test_reset_composes_clear_and_counter_reset(self):
+        engine = numpy_engine(make_relevant(0))
+        engine.execute_batch([query_with("a", "MEDIAN"), query_with("a", "MAD")])
+        engine.execute(query_with("a", "MODE"))
+        assert engine.stats.sort_hits > 0
+        engine.reset()
+        assert engine.sort_cache_len == 0
+        assert (engine.stats.sort_misses, engine.stats.sort_hits) == (0, 0)
+        assert engine.stats.seconds_sorting == 0.0
+        # Post-reset traffic replays a fresh engine's trajectory.
+        engine.execute(query_with("a", "MEDIAN"))
+        assert (engine.stats.sort_misses, engine.stats.sort_hits) == (1, 0)
+
+    def test_counters_identical_serial_vs_sharded(self):
+        """Sort-cache traffic obeys the shard-determinism contract: the
+        spec-split units of a heavy fused plan and the group-range shards
+        consult the engine cache exactly once per (plan, value column)."""
+        table = make_relevant(0)
+        batch = [
+            query_with(value, func)
+            for value in "ab"
+            for func in ("MEDIAN", "MAD", "MODE", "ENTROPY", "MIN", "MAX", "SUM")
+        ]
+        expected = None
+        for workers, strategy in ((1, "plan"), (4, "plan"), (4, "group")):
+            engine = QueryEngine(
+                table,
+                config=EngineConfig(
+                    backend="numpy", num_workers=workers, shard_strategy=strategy
+                ),
+            )
+            engine.execute_batch(batch)
+            counts = (engine.stats.sort_misses, engine.stats.sort_hits)
+            if expected is None:
+                expected = counts
+            else:
+                assert counts == expected, (workers, strategy)
+        assert expected == (2, 0)  # one shared order per fused plan
+
+
 class TestRegistryAndStats:
     def test_registry_does_not_keep_tables_alive(self):
         import gc

@@ -109,6 +109,49 @@ class TestSignatures:
             assert base.result_key() != other.result_key()
 
 
+class TestPerValueColumnGrouping:
+    def fused_plan(self) -> QueryPlan:
+        plan = QueryPlan.from_query(make_query())
+        return plan.with_aggregates(
+            [
+                AggregateSpec("MEDIAN", "price", "f0"),
+                AggregateSpec("SUM", "qty", "f1"),
+                AggregateSpec("MAD", "price", "f2"),  # interleaved attrs
+                AggregateSpec("AVG", "qty", "f3"),
+            ]
+        )
+
+    def test_specs_by_attr_groups_in_first_appearance_order(self):
+        grouped = self.fused_plan().specs_by_attr()
+        assert list(grouped) == ["price", "qty"]
+        assert [(p, s.func) for p, s in grouped["price"]] == [(0, "MEDIAN"), (2, "MAD")]
+        assert [(p, s.func) for p, s in grouped["qty"]] == [(1, "SUM"), (3, "AVG")]
+
+    def test_specs_by_attr_positions_cover_every_spec_exactly_once(self):
+        plan = self.fused_plan()
+        positions = sorted(
+            position for specs in plan.specs_by_attr().values() for position, _ in specs
+        )
+        assert positions == list(range(len(plan.aggregates)))
+
+    def test_sort_key_is_the_predicate_keys_attr_triple(self):
+        plan = self.fused_plan()
+        signature = plan.predicate_signature()
+        assert plan.sort_key("price") == (signature, ("user",), "price")
+        assert plan.sort_key("price") != plan.sort_key("qty")
+        # Sub-plans of a spec split keep the identical key.
+        sub = plan.with_aggregates(plan.aggregates[2:])
+        assert sub.sort_key("price") == plan.sort_key("price")
+
+    def test_sort_key_none_for_uncacheable_plans(self):
+        plan = QueryPlan(
+            atoms=(PredicateAtom("eq", "dept", value=["unhashable"]),),
+            keys=("user",),
+            aggregates=(AggregateSpec("MEDIAN", "price"),),
+        )
+        assert plan.sort_key("price") is None
+
+
 class TestFusionAndRendering:
     def test_with_aggregates_fuses_plans(self):
         plan = QueryPlan.from_query(make_query())
