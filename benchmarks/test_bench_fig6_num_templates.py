@@ -25,7 +25,12 @@ def _run_fig6():
         bundle = load_dataset(dataset_name, scale=BENCH_SCALE, seed=0)
         for model_name in MODELS:
             for n_templates in TEMPLATE_COUNTS:
-                config = bench_config(n_templates=n_templates, queries_per_template=2)
+                # The sweep drives the batched ask/tell search loop end to
+                # end: every pool search proposes 8 candidates per round and
+                # evaluates them through one fused engine batch.
+                config = bench_config(
+                    n_templates=n_templates, queries_per_template=2, search_batch_size=8
+                )
                 result = run_method(
                     bundle, "FeatAug", model_name,
                     n_features=n_templates * 2, config=config, seed=0,

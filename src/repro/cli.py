@@ -39,6 +39,13 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--search-iterations", type=int, default=12, help="real-model TPE iterations per template")
     parser.add_argument("--proxy", choices=["mi", "spearman", "lr"], default="mi", help="low-cost proxy")
     parser.add_argument(
+        "--search-batch-size",
+        type=int,
+        default=1,
+        help="candidates proposed and evaluated per search round; >1 batches "
+        "them through one fused engine pass with proposal deduplication",
+    )
+    parser.add_argument(
         "--engine-backend",
         choices=list(backend_names()),
         default=None,
@@ -68,6 +75,7 @@ def _config_from_args(args: argparse.Namespace) -> FeatAugConfig:
         warmup_iterations=args.warmup_iterations,
         search_iterations=args.search_iterations,
         proxy=args.proxy,
+        search_batch_size=args.search_batch_size,
         engine_backend=args.engine_backend,
         engine_workers=args.engine_workers,
         engine_shard_strategy=args.engine_shard_strategy,

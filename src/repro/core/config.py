@@ -45,6 +45,13 @@ class FeatAugConfig:
     tpe_startup_trials: int = 8
     #: candidates scored per TPE suggestion.
     tpe_candidates: int = 24
+    #: suggestions proposed (and evaluated through one fused engine batch)
+    #: per ask/tell round of every pool search -- warm-up proxy round, real
+    #: search round and the template-identification scoring runs.  1 keeps
+    #: the classic sequential loop; larger batches let the engine share
+    #: masks / sort orders across candidates and dedup repeated proposals
+    #: before paying for execution.
+    search_batch_size: int = 1
 
     # ------------------------------------------------------------------
     # Query Template Identification component (Section VI)
@@ -110,6 +117,8 @@ class FeatAugConfig:
             raise ValueError(f"Unknown proxy {self.proxy!r}")
         if self.search_strategy not in ("tpe", "random"):
             raise ValueError(f"Unknown search strategy {self.search_strategy!r}")
+        if self.search_batch_size < 1:
+            raise ValueError("search_batch_size must be >= 1")
         # Delegate to the engine-config validation so the backend / worker /
         # strategy checks (and their error messages) have exactly one
         # implementation.  Always run it: even with every engine field left

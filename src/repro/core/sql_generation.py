@@ -19,9 +19,10 @@ budget-fair comparison (Section VII.D.1).
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
@@ -54,8 +55,15 @@ class GenerationReport:
 
     warmup_seconds: float = 0.0
     generate_seconds: float = 0.0
+    #: logical evaluation counts: every suggested candidate counts, whether it
+    #: was executed or answered from the deduplication memo, so the numbers
+    #: stay comparable across batch sizes.
     n_proxy_evaluations: int = 0
     n_model_evaluations: int = 0
+    #: candidates answered from the per-generator memo instead of being
+    #: executed (duplicate proposals within a batch or across rounds).
+    n_proxy_dedup_hits: int = 0
+    n_model_dedup_hits: int = 0
     best_loss_history: List[float] = field(default_factory=list)
 
 
@@ -85,26 +93,82 @@ class SQLQueryGenerator:
         # (and of every other component touching the same relevant table)
         # reuses one group index and predicate-mask cache.
         self.engine = resolve_engine(relevant_table, engine)
+        # Deduplication memos keyed by query signature.  Both objectives are
+        # deterministic functions of the decoded query, so answering a repeat
+        # proposal from the memo is value-neutral -- it only skips the
+        # execute/join/train work the engine would largely re-serve from its
+        # result cache anyway.
+        self._proxy_memo: Dict[tuple, float] = {}
+        self._loss_memo: Dict[tuple, float] = {}
 
     # ------------------------------------------------------------------
     # Objectives
     # ------------------------------------------------------------------
     def _proxy_objective(self, params: Dict[str, object]) -> float:
         """Negative proxy score of the decoded query (TPE minimises)."""
-        query = self.pool.decode(params)
-        train_vec, _ = self.evaluator.feature_vectors_for_query(
-            query, self.relevant_table, engine=self.engine
-        )
-        score = self.proxy.score(train_vec, self.evaluator.y_train, self.evaluator.task)
-        self.report.n_proxy_evaluations += 1
-        return -score
+        return self._proxy_objective_batch([params])[0]
 
     def _model_objective(self, params: Dict[str, object]) -> float:
         """Real validation loss of the decoded query."""
-        query = self.pool.decode(params)
-        result = self.evaluator.evaluate_query(query, self.relevant_table, engine=self.engine)
-        self.report.n_model_evaluations += 1
-        return result.loss
+        return self._model_objective_batch([params])[0]
+
+    def _proxy_objective_batch(self, params_batch: Sequence[Dict[str, object]]) -> List[float]:
+        """Negative proxy scores for a whole suggestion batch.
+
+        Unique unseen queries execute through one
+        :meth:`ModelEvaluator.feature_vectors_for_queries` call -- i.e. a
+        single ``QueryEngine.execute_batch`` -- so predicate masks, sort
+        orders and fused group scans are shared across the candidates.
+        """
+        queries = [self.pool.decode(params) for params in params_batch]
+        signatures = [query.signature() for query in queries]
+        pending = self._pending_indices(signatures, self._proxy_memo)
+        if pending:
+            train_vecs, _ = self.evaluator.feature_vectors_for_queries(
+                [queries[i] for i in pending], self.relevant_table, engine=self.engine
+            )
+            for i, train_vec in zip(pending, train_vecs):
+                score = self.proxy.score(
+                    train_vec, self.evaluator.y_train, self.evaluator.task
+                )
+                self._proxy_memo[signatures[i]] = -score
+        self.report.n_proxy_evaluations += len(params_batch)
+        self.report.n_proxy_dedup_hits += len(params_batch) - len(pending)
+        return [self._proxy_memo[signature] for signature in signatures]
+
+    def _model_objective_batch(self, params_batch: Sequence[Dict[str, object]]) -> List[float]:
+        """Real validation losses for a whole suggestion batch.
+
+        Feature materialisation for the batch's unique unseen queries is one
+        engine pass; the per-query model retrains stay sequential (they are
+        the irreducible cost the dedup memo protects).
+        """
+        queries = [self.pool.decode(params) for params in params_batch]
+        signatures = [query.signature() for query in queries]
+        pending = self._pending_indices(signatures, self._loss_memo)
+        if pending:
+            train_vecs, valid_vecs = self.evaluator.feature_vectors_for_queries(
+                [queries[i] for i in pending], self.relevant_table, engine=self.engine
+            )
+            for i, train_vec, valid_vec in zip(pending, train_vecs, valid_vecs):
+                result = self.evaluator.evaluate_matrix(train_vec, valid_vec)
+                self._loss_memo[signatures[i]] = result.loss
+        self.report.n_model_evaluations += len(params_batch)
+        self.report.n_model_dedup_hits += len(params_batch) - len(pending)
+        return [self._loss_memo[signature] for signature in signatures]
+
+    @staticmethod
+    def _pending_indices(signatures: Sequence[tuple], memo: Dict[tuple, float]) -> List[int]:
+        """Positions that actually need evaluating: drops candidates already
+        in the memo and in-batch repeats (first occurrence wins)."""
+        pending: List[int] = []
+        scheduled = set()
+        for i, signature in enumerate(signatures):
+            if signature in memo or signature in scheduled:
+                continue
+            scheduled.add(signature)
+            pending.append(i)
+        return pending
 
     # ------------------------------------------------------------------
     # Search
@@ -121,21 +185,48 @@ class SQLQueryGenerator:
             n_candidates=self.config.tpe_candidates,
         )
 
+    def _run_batched(
+        self,
+        optimizer,
+        objective_batch: Callable[[Sequence[Dict[str, object]]], List[float]],
+        n_iterations: int,
+        on_value: Callable[[float], None] | None = None,
+    ) -> None:
+        """Drive ``n_iterations`` logical evaluations through the ask/tell
+        batch protocol.
+
+        Each round asks for ``min(search_batch_size, remaining)`` suggestions,
+        scores them with one batched-objective call (one fused engine batch
+        for the unique unseen candidates) and tells the optimiser all results
+        at once.  ``on_value`` fires once per logical evaluation, in suggestion
+        order, after the batch is observed -- enough for running-best
+        bookkeeping because the observed value sequence is exactly the
+        sequential one at ``search_batch_size == 1``.
+        """
+        done = 0
+        while done < n_iterations:
+            n = min(self.config.search_batch_size, n_iterations - done)
+            params_batch = optimizer.suggest_batch(n)
+            values = objective_batch(params_batch)
+            optimizer.observe_batch(params_batch, values)
+            if on_value is not None:
+                for value in values:
+                    on_value(value)
+            done += n
+
     def _warmup_trials(self) -> List[Trial]:
         """Run the proxy TPE round and evaluate its top-k queries for real."""
         proxy_optimizer = self._make_optimizer(seed_offset=1)
-        for _ in range(self.config.warmup_iterations):
-            params = proxy_optimizer.suggest()
-            value = self._proxy_objective(params)
-            proxy_optimizer.observe(params, value)
+        self._run_batched(
+            proxy_optimizer, self._proxy_objective_batch, self.config.warmup_iterations
+        )
         top = proxy_optimizer.history.top_k(self.config.warmup_top_k, minimize=True)
-        real_trials: List[Trial] = []
-        for trial in top:
-            loss = self._model_objective(trial.params)
-            real_trials.append(
-                Trial(params=dict(trial.params), value=loss, metadata={"proxy": -trial.value})
-            )
-        return real_trials
+        # The top-k transfer evaluations are one engine batch as well.
+        losses = self._model_objective_batch([trial.params for trial in top])
+        return [
+            Trial(params=dict(trial.params), value=loss, metadata={"proxy": -trial.value})
+            for trial, loss in zip(top, losses)
+        ]
 
     def generate(self, n_queries: int = 1) -> List[GeneratedQuery]:
         """Run the two-phase search and return the *n_queries* best queries.
@@ -158,12 +249,29 @@ class SQLQueryGenerator:
 
         start = time.perf_counter()
         n_iterations = self.config.search_iterations + extra_iterations
-        for _ in range(n_iterations):
-            params = optimizer.suggest()
-            loss = self._model_objective(params)
-            optimizer.observe(params, loss)
-            best_so_far = optimizer.history.best(minimize=True).value
-            self.report.best_loss_history.append(best_so_far)
+        # Running best, mirroring TrialHistory.best(minimize=True) so the
+        # history has one entry per logical iteration regardless of the batch
+        # size: minimum over finite values, falling back to the first trial's
+        # value while no finite loss has been seen.
+        first_value: float | None = None
+        best_finite: float | None = None
+        for trial in optimizer.history.trials:
+            if first_value is None:
+                first_value = trial.value
+            if math.isfinite(trial.value):
+                best_finite = trial.value if best_finite is None else min(best_finite, trial.value)
+
+        def record(loss: float) -> None:
+            nonlocal first_value, best_finite
+            if first_value is None:
+                first_value = loss
+            if math.isfinite(loss):
+                best_finite = loss if best_finite is None else min(best_finite, loss)
+            self.report.best_loss_history.append(
+                best_finite if best_finite is not None else first_value
+            )
+
+        self._run_batched(optimizer, self._model_objective_batch, n_iterations, on_value=record)
         self.report.generate_seconds = time.perf_counter() - start
 
         return self._collect_results(optimizer, n_queries)
@@ -207,11 +315,12 @@ class SQLQueryGenerator:
         n_iterations = n_iterations or self.config.template_proxy_iterations
         optimizer = self._make_optimizer(seed_offset=3)
         best = -np.inf
-        for _ in range(n_iterations):
-            params = optimizer.suggest()
-            value = self._proxy_objective(params)
-            optimizer.observe(params, value)
+
+        def record(value: float) -> None:
+            nonlocal best
             best = max(best, -value)
+
+        self._run_batched(optimizer, self._proxy_objective_batch, n_iterations, on_value=record)
         return float(best)
 
     def best_real_score(self, n_iterations: int | None = None) -> float:
@@ -223,9 +332,10 @@ class SQLQueryGenerator:
         n_iterations = n_iterations or self.config.template_real_iterations
         optimizer = self._make_optimizer(seed_offset=4)
         best = -np.inf
-        for _ in range(n_iterations):
-            params = optimizer.suggest()
-            loss = self._model_objective(params)
-            optimizer.observe(params, loss)
+
+        def record(loss: float) -> None:
+            nonlocal best
             best = max(best, -loss)
+
+        self._run_batched(optimizer, self._model_objective_batch, n_iterations, on_value=record)
         return float(best)

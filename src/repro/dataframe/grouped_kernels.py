@@ -124,8 +124,16 @@ class GroupedAggregator:
         self.order_cache: Optional[
             Callable[[Callable[[], np.ndarray]], np.ndarray]
         ] = None
+        #: Same protocol as :attr:`order_cache`, but for MAD's second order:
+        #: the lexsort over |x - group median| deviations.  The engine keys it
+        #: per (sort key, MEDIAN) pair next to the main order in its LRU.
+        self.mad_order_cache: Optional[
+            Callable[[Callable[[], np.ndarray]], np.ndarray]
+        ] = None
         # Lazily shared intermediates.
         self._order: Optional[np.ndarray] = sort_order
+        self._mad_dev: Optional[np.ndarray] = None
+        self._mad_order: Optional[np.ndarray] = None
         self._sums: Optional[np.ndarray] = None
         self._means: Optional[np.ndarray] = None
         self._dev: Optional[np.ndarray] = None
@@ -187,6 +195,53 @@ class GroupedAggregator:
         first.
         """
         self.sort_order()
+
+    def mad_deviations(self) -> np.ndarray:
+        """``|x - group median|`` per NaN-stripped row (MAD's value array)."""
+        if self._mad_dev is None:
+            self._mad_dev = np.abs(self._values - self._group_medians()[self._codes])
+        return self._mad_dev
+
+    def mad_sort_order(self) -> np.ndarray:
+        """The ``np.lexsort((mad_deviations, codes))`` order over the rows.
+
+        MAD is a second grouped median, so it needs a second order -- over
+        the deviations instead of the values.  Like :meth:`sort_order` it is
+        resolved at most once, consulting :attr:`mad_order_cache` first so
+        repeated queries of a template stop paying the deviation lexsort.
+        The deviations are a deterministic function of (codes, values), so a
+        cached order is exactly the one a local sort would produce.
+        """
+        if self._mad_order is None:
+            # The deviation values are needed regardless of where the order
+            # comes from (only the lexsort itself is cacheable), and
+            # computing them first resolves the main order too -- so the
+            # compute thunk below never re-enters an order-cache hook while
+            # the hook's lock is held.
+            self.mad_deviations()
+            if self.mad_order_cache is not None:
+                order = self.mad_order_cache(self._compute_mad_order)
+                if len(order) != len(self._values):
+                    raise ValueError(
+                        f"cached MAD order covers {len(order)} rows, "
+                        f"expected {len(self._values)} NaN-stripped rows"
+                    )
+                self._mad_order = order
+            else:
+                self._mad_order = self._compute_mad_order()
+        return self._mad_order
+
+    def _compute_mad_order(self) -> np.ndarray:
+        return np.lexsort((self.mad_deviations(), self._codes))
+
+    def resolve_mad_order(self) -> None:
+        """Force :meth:`mad_sort_order` resolution (timing-neutral warm-up).
+
+        Resolves the main order too (the deviations need the group medians),
+        so both sorts are booked to the engine's sorting phase before MAD's
+        kernel timer starts.
+        """
+        self.mad_sort_order()
 
     # ------------------------------------------------------------------
     # Shared intermediates
@@ -250,11 +305,6 @@ class GroupedAggregator:
                 med[even] = (lo + hi) / 2.0
             result[ne] = med
         return result
-
-    def _segment_median(self, values: np.ndarray) -> np.ndarray:
-        """Per-group median of *values* (aligned to the NaN-stripped rows)."""
-        order = np.lexsort((values, self._codes))
-        return self._median_from_sorted(values[order], self._segment_starts())
 
     def _group_medians(self) -> np.ndarray:
         if self._medians is None:
@@ -331,8 +381,10 @@ class GroupedAggregator:
 
     def mad(self) -> np.ndarray:
         """Median absolute deviation: a second grouped median over |x - med|."""
-        deviations = np.abs(self._values - self._group_medians()[self._codes])
-        return self._segment_median(deviations)
+        deviations = self.mad_deviations()
+        return self._median_from_sorted(
+            deviations[self.mad_sort_order()], self._segment_starts()
+        )
 
     def var(self) -> np.ndarray:
         with np.errstate(invalid="ignore"):

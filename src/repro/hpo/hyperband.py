@@ -29,6 +29,23 @@ from repro.hpo.space import SearchSpace
 from repro.hpo.trial import Trial, TrialHistory
 
 BudgetedObjective = Callable[[Dict[str, object], float], float]
+# Batched form: receives every configuration in a rung plus the rung budget
+# and returns one value per configuration, in order.
+BatchedBudgetedObjective = Callable[[List[Dict[str, object]], float], Sequence[float]]
+
+
+def _loss_rank(pair: Tuple[Dict[str, object], float]):
+    """Sort key for rung survivors: finite losses ascending, failures last.
+
+    A NaN value compares false with everything, so sorting raw losses would
+    leave failed configurations in arbitrary positions -- possibly promoted
+    into the next rung.  All non-finite losses (NaN, +/-inf) are ranked
+    after every finite one, keeping their original order.
+    """
+    value = pair[1]
+    if not math.isfinite(value):
+        return (1, 0.0)
+    return (0, value)
 
 
 @dataclass
@@ -42,7 +59,7 @@ class BracketResult:
 
 
 def successive_halving(
-    objective: BudgetedObjective,
+    objective: BudgetedObjective | None,
     space: SearchSpace,
     n_configs: int,
     min_budget: float = 0.25,
@@ -50,12 +67,19 @@ def successive_halving(
     eta: float = 3.0,
     seed: int | None = None,
     history: TrialHistory | None = None,
+    batch_objective: BatchedBudgetedObjective | None = None,
 ) -> BracketResult:
     """Run one successive-halving bracket (minimisation).
 
     ``n_configs`` random configurations start at ``min_budget``; after each
     round only the best ``1/eta`` fraction survives and the budget grows by
     ``eta`` (capped at ``max_budget``).
+
+    When ``batch_objective`` is given, every rung is scored with a single
+    call receiving all surviving configurations at once -- this is what lets
+    the fused query engine share masks/sort orders across a whole rung.  For
+    a deterministic objective the resulting trials (order and values) are
+    identical to the sequential path.
     """
     if n_configs < 1:
         raise ValueError("n_configs must be >= 1")
@@ -63,6 +87,8 @@ def successive_halving(
         raise ValueError("Budgets must satisfy 0 < min_budget <= max_budget <= 1")
     if eta <= 1:
         raise ValueError("eta must be > 1")
+    if objective is None and batch_objective is None:
+        raise ValueError("Provide objective or batch_objective")
 
     rng = np.random.default_rng(seed)
     configurations = [space.sample(rng) for _ in range(n_configs)]
@@ -72,15 +98,22 @@ def successive_halving(
     scored: List[Tuple[Dict[str, object], float]] = []
 
     while True:
-        scored = []
-        for params in configurations:
-            value = float(objective(params, budget))
-            n_evaluations += 1
-            scored.append((params, value))
-            if history is not None:
+        if batch_objective is not None:
+            values = [float(v) for v in batch_objective(list(configurations), budget)]
+            if len(values) != len(configurations):
+                raise ValueError(
+                    f"batch_objective returned {len(values)} values "
+                    f"for {len(configurations)} configurations"
+                )
+        else:
+            values = [float(objective(params, budget)) for params in configurations]
+        scored = list(zip(configurations, values))
+        n_evaluations += len(scored)
+        if history is not None:
+            for params, value in scored:
                 history.add(Trial(params=dict(params), value=value, metadata={"budget": budget}))
         rounds.append((budget, len(configurations)))
-        scored.sort(key=lambda pair: pair[1])
+        scored.sort(key=_loss_rank)
         if budget >= max_budget:
             break
         # Keep the best 1/eta fraction (at least one) and raise the budget;
@@ -122,8 +155,17 @@ class HyperbandOptimizer:
         self.seed = seed
         self.history = TrialHistory()
 
-    def minimize(self, objective: BudgetedObjective, n_configs: int = 9) -> Trial:
-        """Run all Hyperband brackets and return the best trial."""
+    def minimize(
+        self,
+        objective: BudgetedObjective | None,
+        n_configs: int = 9,
+        batch_objective: BatchedBudgetedObjective | None = None,
+    ) -> Trial:
+        """Run all Hyperband brackets and return the best trial.
+
+        ``batch_objective`` scores each rung with one call (see
+        :func:`successive_halving`); either form may be supplied.
+        """
         s_max = int(math.floor(math.log(self.max_budget / self.min_budget, self.eta)))
         best: Trial | None = None
         for s in range(s_max, -1, -1):
@@ -138,6 +180,7 @@ class HyperbandOptimizer:
                 eta=self.eta,
                 seed=None if self.seed is None else self.seed + s,
                 history=self.history,
+                batch_objective=batch_objective,
             )
             candidate = Trial(params=result.best_params, value=result.best_value, metadata={"bracket": s})
             if best is None or candidate.value < best.value:

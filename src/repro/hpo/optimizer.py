@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, List, Sequence
 
 from repro.hpo.space import SearchSpace
 from repro.hpo.trial import Trial, TrialHistory
@@ -17,9 +17,18 @@ class Optimizer:
     >>> value = objective(params)
     >>> optimizer.observe(params, value)
 
-    ``minimize`` drives the loop for a fixed number of iterations and returns
-    the best trial.  Objective values are always *minimised*; callers that
-    maximise a score (e.g. mutual information in the warm-up phase) negate it.
+    plus a batched variant for callers that can evaluate several candidates
+    at once (the fused query engine amortises plan execution across a batch):
+
+    >>> batch = optimizer.suggest_batch(8)
+    >>> optimizer.observe_batch(batch, [objective(p) for p in batch])
+
+    ``suggest_batch`` proposes *n* points without observing anything in
+    between, so the whole batch is conditioned on the same history; a batch
+    of size one must reproduce ``suggest()`` exactly.  ``minimize`` drives
+    the loop for a fixed number of iterations and returns the best trial.
+    Objective values are always *minimised*; callers that maximise a score
+    (e.g. mutual information in the warm-up phase) negate it.
     """
 
     def __init__(self, space: SearchSpace, seed: int | None = None):
@@ -30,17 +39,56 @@ class Optimizer:
     def suggest(self) -> Dict[str, object]:
         raise NotImplementedError
 
+    def suggest_batch(self, n: int) -> List[Dict[str, object]]:
+        """Propose *n* candidates from the current history.
+
+        The default loops ``suggest()``; optimisers whose suggestion step
+        conditions on the history (TPE) override this to fit their surrogate
+        once per batch.  Either way the history is not updated until the
+        caller reports values through :meth:`observe_batch`.
+        """
+        if n < 1:
+            raise ValueError(f"batch size must be >= 1, got {n}")
+        return [self.suggest() for _ in range(n)]
+
     def observe(self, params: Dict[str, object], value: float, **metadata) -> None:
         """Record an evaluated point."""
         self.space.validate(params)
         self.history.add(Trial(params=dict(params), value=float(value), metadata=metadata))
 
-    def minimize(self, objective: Callable[[Dict[str, object]], float], n_iter: int) -> Trial:
+    def observe_batch(
+        self,
+        params_batch: Sequence[Dict[str, object]],
+        values: Sequence[float],
+        metadata: Sequence[Dict[str, object]] | None = None,
+    ) -> None:
+        """Record one value per suggestion, preserving suggestion order."""
+        params_batch = list(params_batch)
+        values = list(values)
+        if len(params_batch) != len(values):
+            raise ValueError(
+                f"got {len(params_batch)} param sets but {len(values)} values"
+            )
+        if metadata is not None and len(metadata) != len(params_batch):
+            raise ValueError(
+                f"got {len(params_batch)} param sets but {len(metadata)} metadata dicts"
+            )
+        for i, (params, value) in enumerate(zip(params_batch, values)):
+            self.observe(params, value, **(metadata[i] if metadata is not None else {}))
+
+    def minimize(
+        self,
+        objective: Callable[[Dict[str, object]], float],
+        n_iter: int,
+        batch_size: int = 1,
+    ) -> Trial:
         """Run the ask/tell loop for *n_iter* evaluations; return the best trial."""
-        for _ in range(n_iter):
-            params = self.suggest()
-            value = objective(params)
-            self.observe(params, value)
+        remaining = n_iter
+        while remaining > 0:
+            batch = self.suggest_batch(min(batch_size, remaining))
+            values = [objective(params) for params in batch]
+            self.observe_batch(batch, values)
+            remaining -= len(batch)
         return self.history.best(minimize=True)
 
     def warm_start(self, trials) -> None:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 import numpy as np
 
@@ -19,3 +19,10 @@ class RandomSearchOptimizer(Optimizer):
 
     def suggest(self) -> Dict[str, object]:
         return self.space.sample(self._rng)
+
+    def suggest_batch(self, n: int) -> List[Dict[str, object]]:
+        # Random search ignores the history, so a batch is just n independent
+        # draws -- trivially identical to n sequential suggest() calls.
+        if n < 1:
+            raise ValueError(f"batch size must be >= 1, got {n}")
+        return [self.space.sample(self._rng) for _ in range(n)]

@@ -13,10 +13,17 @@ Before ``n_startup_trials`` observations exist, points are sampled uniformly
 at random.  ``warm_start`` lets FeatAug seed the history with trials evaluated
 during the warm-up phase (Section V.C), so the first "real" suggestion is
 already informed by the proxy task.
+
+``suggest_batch`` proposes several points from one density fit: the good/bad
+split and the per-dimension densities are computed at most once per batch,
+and every slot replays exactly the RNG consumption of a sequential
+``suggest()`` call (density fitting draws nothing from the generator), so a
+batch of size one is bit-identical to the sequential trajectory.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List
 
 import numpy as np
@@ -25,6 +32,14 @@ from repro.hpo.kde import CategoricalDensity, GaussianKDE
 from repro.hpo.optimizer import Optimizer
 from repro.hpo.space import CategoricalDimension, IntegerDimension, RealDimension, SearchSpace
 from repro.hpo.trial import Trial
+
+# Floor applied to density values before taking logs in the surrogate score.
+# A pdf of exactly zero (e.g. a categorical choice unseen in the bad group
+# with smoothing disabled, or a degenerate KDE) would otherwise produce
+# ``log(0) = -inf`` and ``-inf - -inf = NaN`` scores that silently discard
+# candidates.  The floor is far below the 1e-12 floor the densities themselves
+# apply, so it never alters a score produced by a well-behaved density.
+_PDF_FLOOR = 1e-32
 
 
 class TPEOptimizer(Optimizer):
@@ -57,28 +72,53 @@ class TPEOptimizer(Optimizer):
     # Suggestion
     # ------------------------------------------------------------------
     def suggest(self) -> Dict[str, object]:
-        if len(self.history) < self.n_startup_trials:
-            return self.space.sample(self._rng)
-        if self.exploration_probability > 0 and self._rng.random() < self.exploration_probability:
-            return self.space.sample(self._rng)
-        good, bad = self._split_trials()
-        if len(good) < self.min_good or not bad:
-            return self.space.sample(self._rng)
-        good_density = self._fit_densities(good)
-        bad_density = self._fit_densities(bad)
+        return self.suggest_batch(1)[0]
 
+    def suggest_batch(self, n: int) -> List[Dict[str, object]]:
+        """Propose *n* candidates from a single density fit.
+
+        The surrogate densities depend only on the (frozen) history, so they
+        are fitted lazily the first time a slot needs them and shared by the
+        rest of the batch.  Per-slot RNG consumption (startup sampling,
+        exploration draw, candidate sampling) is identical to a sequential
+        ``suggest()`` call, which makes ``suggest_batch(1)`` bit-identical to
+        ``suggest()`` and any batch size deterministic under a fixed seed.
+        """
+        if n < 1:
+            raise ValueError(f"batch size must be >= 1, got {n}")
+        densities = None  # fitted at most once per batch; False => unusable split
+        batch: List[Dict[str, object]] = []
+        for _ in range(n):
+            if len(self.history) < self.n_startup_trials:
+                batch.append(self.space.sample(self._rng))
+                continue
+            if (
+                self.exploration_probability > 0
+                and self._rng.random() < self.exploration_probability
+            ):
+                batch.append(self.space.sample(self._rng))
+                continue
+            if densities is None:
+                good, bad = self._split_trials()
+                if len(good) < self.min_good or not bad:
+                    densities = False
+                else:
+                    densities = (self._fit_densities(good), self._fit_densities(bad))
+            if densities is False:
+                batch.append(self.space.sample(self._rng))
+                continue
+            batch.append(self._propose(*densities))
+        return batch
+
+    def _propose(self, good_density, bad_density) -> Dict[str, object]:
+        """Draw ``n_candidates`` points from ``l`` and keep the best-scoring one."""
         best_params = None
         best_score = -np.inf
         for _ in range(self.n_candidates):
             candidate = {
                 name: good_density[name].sample(self._rng) for name in self.space.names
             }
-            score = 0.0
-            for name in self.space.names:
-                value = candidate[name]
-                score += np.log(good_density[name].pdf(value)) - np.log(
-                    bad_density[name].pdf(value)
-                )
+            score = self._surrogate_score(candidate, good_density, bad_density)
             if score > best_score:
                 best_score = score
                 best_params = candidate
@@ -86,12 +126,28 @@ class TPEOptimizer(Optimizer):
             return self.space.sample(self._rng)
         return best_params
 
+    def _surrogate_score(self, candidate, good_density, bad_density) -> float:
+        """``sum(log l(x) - log g(x))`` with pdfs floored away from zero."""
+        score = 0.0
+        for name in self.space.names:
+            value = candidate[name]
+            good_pdf = max(float(good_density[name].pdf(value)), _PDF_FLOOR)
+            bad_pdf = max(float(bad_density[name].pdf(value)), _PDF_FLOOR)
+            score += np.log(good_pdf) - np.log(bad_pdf)
+        return score
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _split_trials(self):
-        trials: List[Trial] = self.history.trials
+        # Failed candidates can report NaN/inf objectives; sorting raw values
+        # would land them unpredictably (NaN compares false with everything)
+        # and could poison the "good" group, so the split only sees finite
+        # trials.
+        trials: List[Trial] = [t for t in self.history.trials if math.isfinite(t.value)]
         ordered = sorted(trials, key=lambda t: t.value)
+        if not ordered:
+            return [], []
         n_good = max(self.min_good, int(np.ceil(self.gamma * len(ordered))))
         n_good = min(n_good, max(len(ordered) - 1, 1))
         return ordered[:n_good], ordered[n_good:]
@@ -128,5 +184,11 @@ class _NumericDensityAdapter:
                 return None
             value = self._kde.low
         if self._integer:
-            return int(round(value))
+            # The KDE clips its samples to the float interval [low, high],
+            # but rounding sits outside that contract: with non-integral
+            # bounds (or any future change to the clipping) int(round(...))
+            # can step past the dimension edge and fail space.validate().
+            # Clamp so every suggestion stays inside the dimension.
+            rounded = int(round(value))
+            return int(min(max(rounded, self._dimension.low), self._dimension.high))
         return value

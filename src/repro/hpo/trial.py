@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List
 
@@ -38,16 +39,34 @@ class TrialHistory:
         return list(self._trials)
 
     def best(self, minimize: bool = True) -> Trial:
-        """The trial with the lowest (or highest) objective value."""
+        """The finite trial with the lowest (or highest) objective value.
+
+        NaN compares false with everything, so ``min`` over raw values would
+        return an arbitrary trial as soon as one failed candidate reports a
+        non-finite objective.  Non-finite trials are ignored unless the
+        history holds nothing else, in which case the first trial is
+        returned (deterministically) rather than raising.
+        """
         if not self._trials:
             raise ValueError("No trials recorded yet")
+        finite = [t for t in self._trials if math.isfinite(t.value)]
+        if not finite:
+            return self._trials[0]
         key = (lambda t: t.value) if minimize else (lambda t: -t.value)
-        return min(self._trials, key=key)
+        return min(finite, key=key)
 
     def top_k(self, k: int, minimize: bool = True) -> List[Trial]:
-        """The *k* best trials, best first."""
-        ordered = sorted(self._trials, key=lambda t: t.value, reverse=not minimize)
-        return ordered[:k]
+        """The *k* best trials, best first; non-finite trials rank last."""
+
+        def rank(trial: Trial):
+            # All non-finite values (NaN, +/-inf) count as failures and sort
+            # after every finite trial, in insertion order.  A -inf "loss"
+            # from a failed candidate must not masquerade as the best trial.
+            if not math.isfinite(trial.value):
+                return (1, 0.0)
+            return (0, trial.value if minimize else -trial.value)
+
+        return sorted(self._trials, key=rank)[:k]
 
     def values(self) -> List[float]:
         return [t.value for t in self._trials]

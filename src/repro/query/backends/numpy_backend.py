@@ -52,8 +52,15 @@ class NumpyBackend(GroupIndexBackend):
         # column* so the spec-split units sharing this context consult the
         # engine's sort-order cache exactly once per column (deterministic
         # sort_hits / sort_misses at any worker count) while lexsorts for
-        # distinct columns still run concurrently.
+        # distinct columns still run concurrently.  MAD's deviation orders
+        # get their own memo slot and engine key -- (sort key, "MEDIAN") --
+        # but share the per-column lock (both orders belong to one column's
+        # prepared state and are never resolved concurrently with profit).
         context["sort_orders"] = {}
+        context["mad_orders"] = {}
+        context["mad_sort_keys"] = {
+            attr: plan.mad_sort_key(attr) for attr in context["sort_keys"]
+        }
         context["sort_locks"] = {attr: threading.Lock() for attr in context["sort_keys"]}
         return context
 
@@ -62,7 +69,8 @@ class NumpyBackend(GroupIndexBackend):
         values = self.engine.agg_values(attr, row_idx)
         if row_idx is not None:
             values = values[row_idx]
-        order_cache = self._order_cache(attr, context)
+        order_cache = self._order_cache(attr, context, "sort_orders", "sort_keys")
+        mad_order_cache = self._order_cache(attr, context, "mad_orders", "mad_sort_keys")
         sharder = self.engine.sharder
         if sharder.group_range_active(context["n_groups"]):
             shards = context.get("group_shards")
@@ -72,24 +80,32 @@ class NumpyBackend(GroupIndexBackend):
                 )
                 context["group_shards"] = shards
             return ShardedGroupedAggregator(
-                shards, values, sharder, order_cache=order_cache
+                shards,
+                values,
+                sharder,
+                order_cache=order_cache,
+                mad_order_cache=mad_order_cache,
             )
         aggregator = GroupedAggregator(context["codes"], values, context["n_groups"])
         aggregator.order_cache = order_cache
+        aggregator.mad_order_cache = mad_order_cache
         return aggregator
 
-    def _order_cache(self, attr: str, context: dict):
+    def _order_cache(self, attr: str, context: dict, memo_slot: str, key_slot: str):
         """A memoising accessor onto the engine's shared sort-order cache.
 
-        Returns ``order_cache(compute) -> order``: the plan-context memo is
-        checked first (idempotent across the plan's scheduling units), then
-        the engine cache (reuse across plans and batches), and only then
-        does *compute* -- the aggregator's own lexsort thunk -- run, timed
-        into ``seconds_sorting`` by the engine.
+        Returns ``order_cache(compute) -> order``: the plan-context memo
+        (*memo_slot*) is checked first (idempotent across the plan's
+        scheduling units), then the engine cache under the plan's *key_slot*
+        key (reuse across plans and batches), and only then does *compute*
+        -- the aggregator's own lexsort thunk -- run, timed into
+        ``seconds_sorting`` by the engine.  The same accessor serves the
+        main (value, code) order and MAD's deviation order; only the memo
+        slot and cache key differ.
         """
         engine = self.engine
-        sort_key = context["sort_keys"].get(attr)
-        orders, lock = context["sort_orders"], context["sort_locks"][attr]
+        sort_key = context[key_slot].get(attr)
+        orders, lock = context[memo_slot], context["sort_locks"][attr]
 
         def order_cache(compute):
             with lock:
@@ -104,9 +120,13 @@ class NumpyBackend(GroupIndexBackend):
     def before_aggregate(self, func: str, prepared) -> None:
         # Resolve the shared order outside the kernel timer, so
         # kernel_seconds / seconds_aggregating measure the kernel's own work
-        # and the lexsort books exactly once, into seconds_sorting.
+        # and the lexsort books exactly once, into seconds_sorting.  MAD also
+        # resolves its second order (over |x - group median| deviations) so
+        # both of its sorts book to the sorting phase, not the kernel.
         if func in SORT_BASED_KERNELS:
             prepared.resolve_sort_order()
+        if func == "MAD":
+            prepared.resolve_mad_order()
 
     def aggregate(self, func: str, prepared):
         return prepared.compute(func)

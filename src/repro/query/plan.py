@@ -209,6 +209,19 @@ class QueryPlan:
             return None
         return (signature, self.keys, attr)
 
+    def mad_sort_key(self, attr: str) -> Optional[tuple]:
+        """Sort-order cache key of MAD's deviation order over *attr*: the
+        :meth:`sort_key` triple extended with ``"MEDIAN"`` -- MAD sorts
+        ``|x - group median|``, a deterministic function of the same
+        (filter, grouping, value column), so the deviation order is cached
+        per (sort key, MEDIAN) pair right next to the main order.  The
+        four-tuple can never collide with a three-tuple ``sort_key``.
+        """
+        key = self.sort_key(attr)
+        if key is None:
+            return None
+        return key + ("MEDIAN",)
+
     def result_key(self, position: int = 0) -> Optional[tuple]:
         """Result-cache key of the aggregate at *position* (``None`` = uncacheable)."""
         signature = self.predicate_signature()

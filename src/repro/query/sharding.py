@@ -153,12 +153,15 @@ class ShardedGroupedAggregator:
         values: np.ndarray,
         scheduler: "ShardScheduler",
         order_cache=None,
+        mad_order_cache=None,
     ):
         self._scheduler = scheduler
         self._shards = shards
         self._values = np.asarray(values, dtype=np.float64)
         self._order_cache = order_cache
+        self._mad_order_cache = mad_order_cache
         self._orders: Optional[List[np.ndarray]] = None
+        self._mad_orders: Optional[List[np.ndarray]] = None
         self._order_lock = threading.Lock()
         self._parts = [
             GroupedAggregator(codes, values[rows], hi - lo)
@@ -170,6 +173,11 @@ class ShardedGroupedAggregator:
                 # full order (once, lock-protected) and reads its own slice;
                 # the part's local compute thunk is ignored on purpose.
                 part.order_cache = lambda _compute, i=i: self._part_orders()[i]
+        if mad_order_cache is not None:
+            for i, part in enumerate(self._parts):
+                # Same scheme for MAD's deviation order: one engine-cache
+                # consultation per (plan, value column), sliced per range.
+                part.mad_order_cache = lambda _compute, i=i: self._mad_part_orders()[i]
 
     def resolve_sort_order(self) -> None:
         """Resolve + slice the shared full order now (timing-neutral warm-up,
@@ -178,6 +186,12 @@ class ShardedGroupedAggregator:
         as before."""
         if self._order_cache is not None:
             self._part_orders()
+
+    def resolve_mad_order(self) -> None:
+        """Resolve + slice MAD's shared deviation order (timing-neutral
+        warm-up, mirroring :meth:`GroupedAggregator.resolve_mad_order`)."""
+        if self._mad_order_cache is not None:
+            self._mad_part_orders()
 
     def _part_orders(self) -> List[np.ndarray]:
         """Per-range local sort orders, resolved once for all parts.
@@ -195,14 +209,50 @@ class ShardedGroupedAggregator:
                 orders = self._orders
         return orders
 
-    def _slice_full_order(self) -> List[np.ndarray]:
+    def _mad_part_orders(self) -> List[np.ndarray]:
+        """Per-range local MAD deviation orders (same contract as
+        :meth:`_part_orders`: exactly one engine-cache consultation)."""
+        orders = self._mad_orders
+        if orders is None:
+            with self._order_lock:
+                if self._mad_orders is None:
+                    self._mad_orders = self._slice_full_mad_order()
+                orders = self._mad_orders
+        return orders
+
+    def _stripped(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The plan's NaN-stripped (codes, values) over all ranges."""
         codes, values = self._shards.all_codes, self._values
         valid = ~np.isnan(values)
         if valid.all():
-            scodes, svalues = codes, values
-        else:
-            scodes, svalues = codes[valid], values[valid]
+            return codes, values
+        return codes[valid], values[valid]
+
+    def _slice_full_order(self) -> List[np.ndarray]:
+        scodes, svalues = self._stripped()
         full = self._order_cache(lambda: np.lexsort((svalues, scodes)))
+        return self._slice_by_range(full, scodes)
+
+    def _slice_full_mad_order(self) -> List[np.ndarray]:
+        """Resolve the full deviation order and slice it per range.
+
+        The deviations |x - group median| are computed once globally from a
+        helper aggregator seeded with the (cached) full main order -- no
+        extra lexsort.  They are bit-identical to what each part computes
+        locally, because every group lies wholly inside one range, so the
+        sliced order is exactly the order a part's own deviation lexsort
+        would produce.
+        """
+        scodes, svalues = self._stripped()
+        full_main = self._order_cache(lambda: np.lexsort((svalues, scodes)))
+        helper = GroupedAggregator(
+            scodes, svalues, self._shards.n_groups, sort_order=full_main
+        )
+        deviations = helper.mad_deviations()
+        full = self._mad_order_cache(lambda: np.lexsort((deviations, scodes)))
+        return self._slice_by_range(full, scodes)
+
+    def _slice_by_range(self, full: np.ndarray, scodes: np.ndarray) -> List[np.ndarray]:
         counts = np.bincount(scodes, minlength=self._shards.n_groups)
         bounds = np.concatenate(([0], np.cumsum(counts)))
         orders: List[np.ndarray] = []

@@ -126,3 +126,90 @@ class TestSQLQueryGenerator:
         for result in generator.generate(n_queries=3):
             assert result.query.agg_attr in template.agg_attrs
             assert result.query.agg_func in template.agg_funcs
+
+
+class TestBatchedSearchLoop:
+    """The ask/tell batch protocol driving the generator's search."""
+
+    def test_counters_are_logical_at_any_batch_size(self, planted_setup, fast_generation_config):
+        """Every suggested candidate counts as one evaluation, batched or not."""
+        template, relevant, evaluator = planted_setup
+        config = fast_generation_config.with_overrides(search_batch_size=8)
+        generator = SQLQueryGenerator(template, relevant, evaluator, config=config)
+        generator.generate(n_queries=1)
+        assert generator.report.n_proxy_evaluations == config.warmup_iterations
+        assert generator.report.n_model_evaluations == config.search_iterations + config.warmup_top_k
+
+    def test_history_length_independent_of_batch_size(self, planted_setup, fast_generation_config):
+        template, relevant, evaluator = planted_setup
+        config = fast_generation_config.with_overrides(search_batch_size=6)
+        generator = SQLQueryGenerator(template, relevant, evaluator, config=config)
+        generator.generate(n_queries=1)
+        history = generator.report.best_loss_history
+        assert len(history) == config.search_iterations
+        assert all(b <= a + 1e-12 for a, b in zip(history, history[1:]))
+
+    def test_fixed_seed_batched_run_is_deterministic(self, planted_setup, fast_generation_config):
+        template, relevant, evaluator = planted_setup
+        config = fast_generation_config.with_overrides(search_batch_size=5)
+
+        def run():
+            generator = SQLQueryGenerator(template, relevant, evaluator, config=config)
+            results = generator.generate(n_queries=3)
+            return (
+                [(r.query.signature(), r.loss) for r in results],
+                generator.report.best_loss_history,
+            )
+
+        assert run() == run()
+
+    def test_dedup_never_executes_a_signature_twice(self, planted_setup, fast_generation_config):
+        """In-batch and cross-round duplicates are answered from the memo."""
+        template, relevant, evaluator = planted_setup
+        config = fast_generation_config.with_overrides(search_batch_size=8)
+        generator = SQLQueryGenerator(template, relevant, evaluator, config=config)
+
+        executed_batches = []
+        original = evaluator.feature_vectors_for_queries
+
+        def recording(queries, *args, **kwargs):
+            executed_batches.append([q.signature() for q in queries])
+            return original(queries, *args, **kwargs)
+
+        evaluator.feature_vectors_for_queries = recording
+        try:
+            generator.generate(n_queries=1)
+        finally:
+            evaluator.feature_vectors_for_queries = original
+
+        for batch in executed_batches:
+            assert len(batch) == len(set(batch))
+        n_executed = sum(len(batch) for batch in executed_batches)
+        report = generator.report
+        assert n_executed == (report.n_proxy_evaluations - report.n_proxy_dedup_hits) + (
+            report.n_model_evaluations - report.n_model_dedup_hits
+        )
+
+    def test_batch_size_one_matches_default_run(self, planted_setup, fast_generation_config):
+        """search_batch_size=1 is exactly the classic sequential trajectory."""
+        template, relevant, evaluator = planted_setup
+
+        def run(config):
+            generator = SQLQueryGenerator(template, relevant, evaluator, config=config)
+            results = generator.generate(n_queries=3)
+            # NaN proxy scores (query never seen in warm-up) are normalised
+            # because NaN != NaN would fail an otherwise identical trajectory.
+            return (
+                [
+                    (r.query.signature(), r.loss, None if np.isnan(r.proxy_score) else r.proxy_score)
+                    for r in results
+                ],
+                generator.report.best_loss_history,
+            )
+
+        explicit = fast_generation_config.with_overrides(search_batch_size=1)
+        assert run(fast_generation_config) == run(explicit)
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ValueError):
+            FeatAugConfig(search_batch_size=0).validate()

@@ -175,6 +175,42 @@ class TestNaNPlacementInSortDrivenKernels:
             assert np.array_equal(got[finite], want[finite]), name
         assert len(calls) == 1  # one shared order across every sort-based kernel
 
+    @given(data=nan_bearing_grouped_inputs())
+    @settings(max_examples=25, deadline=None)
+    def test_mad_order_cache_hook_is_bit_neutral(self, data):
+        """MAD's deviation-order hook (the engine's (sort key, MEDIAN) cache
+        entry) is consulted exactly once and is bit-neutral on NaN-bearing
+        groups; a donor aggregator supplies the cached order."""
+        codes, values, n_groups = data
+        donor = GroupedAggregator(codes, values, n_groups)
+        calls = []
+
+        def mad_cache(compute):
+            calls.append(compute)
+            return donor.mad_sort_order()
+
+        aggregator = GroupedAggregator(codes, values, n_groups)
+        aggregator.mad_order_cache = mad_cache
+        got = aggregator.compute("MAD")
+        aggregator.compute("MAD")  # second evaluation reuses the memo
+        want = reference("MAD", codes, values, n_groups)
+        assert_same_nan_placement(got, want, "MAD")
+        finite = ~np.isnan(want)
+        assert np.array_equal(got[finite], want[finite])
+        assert len(calls) == 1
+
+    def test_only_mad_resolves_the_deviation_order(self):
+        """Every kernel except MAD must leave the deviation-order hook
+        untouched -- the (sort key, MEDIAN) cache entry is MAD-only traffic."""
+        codes = np.asarray([0, 1, 0, 1], dtype=np.int64)
+        values = np.asarray([1.0, 2.0, np.nan, 4.0])
+        aggregator = GroupedAggregator(codes, values, 2)
+        aggregator.mad_order_cache = lambda compute: pytest.fail(
+            "non-MAD kernel resolved the MAD deviation order"
+        )
+        for name in sorted(GROUPED_KERNELS - {"MAD"}):
+            aggregator.compute(name)
+
     def test_sort_order_covers_stripped_rows_only(self):
         codes = np.asarray([0, 0, 1, 1], dtype=np.int64)
         values = np.asarray([2.0, np.nan, 1.0, np.nan])

@@ -1,0 +1,191 @@
+"""Determinism contract of the batched ask/tell protocol.
+
+Three guarantees back the batched search loop in ``core.sql_generation``:
+
+* ``suggest_batch(1)`` driven sequentially is bit-identical to the classic
+  ``suggest()``/``observe()`` loop for every optimiser;
+* any batch size is deterministic under a fixed seed;
+* Hyperband's ``batch_objective`` path reproduces the sequential rung
+  trajectory exactly for deterministic objectives.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hpo.hyperband import HyperbandOptimizer, successive_halving
+from repro.hpo.random_search import RandomSearchOptimizer
+from repro.hpo.space import (
+    CategoricalDimension,
+    IntegerDimension,
+    RealDimension,
+    SearchSpace,
+)
+from repro.hpo.tpe import TPEOptimizer
+from repro.hpo.trial import TrialHistory
+
+
+@pytest.fixture
+def space():
+    return SearchSpace(
+        [
+            RealDimension("x", -10, 10),
+            IntegerDimension("n", 0, 7),
+            CategoricalDimension("c", ["a", "b", "target"]),
+        ]
+    )
+
+
+def objective(params):
+    bonus = -2.0 if params["c"] == "target" else 0.0
+    return (params["x"] - 3) ** 2 + abs(params["n"] - 4) + bonus
+
+
+def run_sequential(optimizer, n_iter):
+    trajectory = []
+    for _ in range(n_iter):
+        params = optimizer.suggest()
+        value = objective(params)
+        optimizer.observe(params, value)
+        trajectory.append((params, value))
+    return trajectory
+
+
+def run_batched(optimizer, n_iter, batch_size):
+    trajectory = []
+    done = 0
+    while done < n_iter:
+        n = min(batch_size, n_iter - done)
+        batch = optimizer.suggest_batch(n)
+        values = [objective(p) for p in batch]
+        optimizer.observe_batch(batch, values)
+        trajectory.extend(zip(batch, values))
+        done += n
+    return trajectory
+
+
+class TestBatchOfOneBitIdentity:
+    @pytest.mark.parametrize("seed", [0, 7, 123])
+    def test_tpe_suggest_batch_one_replays_sequential(self, space, seed):
+        sequential = TPEOptimizer(space, seed=seed, n_startup_trials=4, n_candidates=8)
+        batched = TPEOptimizer(space, seed=seed, n_startup_trials=4, n_candidates=8)
+        # Long enough to cross the startup boundary and exercise the
+        # density-based proposals (plus exploration restarts).
+        assert run_sequential(sequential, 30) == run_batched(batched, 30, batch_size=1)
+
+    @pytest.mark.parametrize("seed", [0, 42])
+    def test_random_search_suggest_batch_one_replays_sequential(self, space, seed):
+        sequential = RandomSearchOptimizer(space, seed=seed)
+        batched = RandomSearchOptimizer(space, seed=seed)
+        assert run_sequential(sequential, 20) == run_batched(batched, 20, batch_size=1)
+
+
+class TestBatchDeterminism:
+    @pytest.mark.parametrize("batch_size", [2, 5, 16])
+    def test_tpe_fixed_seed_is_reproducible(self, space, batch_size):
+        first = run_batched(
+            TPEOptimizer(space, seed=11, n_startup_trials=4, n_candidates=8), 24, batch_size
+        )
+        second = run_batched(
+            TPEOptimizer(space, seed=11, n_startup_trials=4, n_candidates=8), 24, batch_size
+        )
+        assert first == second
+
+    def test_random_search_fixed_seed_is_reproducible(self, space):
+        first = run_batched(RandomSearchOptimizer(space, seed=5), 24, batch_size=6)
+        second = run_batched(RandomSearchOptimizer(space, seed=5), 24, batch_size=6)
+        assert first == second
+
+    def test_batch_densities_fit_once(self, space):
+        """A TPE batch past startup fits the good/bad split once, not per slot."""
+        optimizer = TPEOptimizer(space, seed=3, n_startup_trials=2, n_candidates=4)
+        run_batched(optimizer, 10, batch_size=5)
+        calls = []
+        original = optimizer._split_trials
+
+        def counting_split():
+            calls.append(1)
+            return original()
+
+        optimizer._split_trials = counting_split
+        optimizer.suggest_batch(6)
+        assert len(calls) == 1
+
+    def test_suggest_batch_validates_size(self, space):
+        optimizer = TPEOptimizer(space, seed=0)
+        with pytest.raises(ValueError):
+            optimizer.suggest_batch(0)
+        with pytest.raises(ValueError):
+            RandomSearchOptimizer(space, seed=0).suggest_batch(-1)
+
+    def test_observe_batch_validates_lengths(self, space):
+        optimizer = TPEOptimizer(space, seed=0)
+        batch = optimizer.suggest_batch(3)
+        with pytest.raises(ValueError):
+            optimizer.observe_batch(batch, [1.0, 2.0])
+
+
+class TestHyperbandBatchedRungs:
+    @staticmethod
+    def budgeted(params, budget):
+        noise = (1.0 - budget) * 2.0
+        return (params["x"] - 3) ** 2 + abs(params["n"] - 4) + noise
+
+    def test_batched_rungs_match_sequential(self, space):
+        def batch_objective(configs, budget):
+            return [self.budgeted(p, budget) for p in configs]
+
+        seq_history, batch_history = TrialHistory(), TrialHistory()
+        seq = successive_halving(
+            self.budgeted, space, n_configs=9, min_budget=0.1, eta=3, seed=0,
+            history=seq_history,
+        )
+        bat = successive_halving(
+            None, space, n_configs=9, min_budget=0.1, eta=3, seed=0,
+            history=batch_history, batch_objective=batch_objective,
+        )
+        assert bat.best_params == seq.best_params
+        assert bat.best_value == seq.best_value
+        assert bat.rounds == seq.rounds
+        assert [(t.params, t.value, t.metadata) for t in batch_history] == [
+            (t.params, t.value, t.metadata) for t in seq_history
+        ]
+
+    def test_hyperband_batched_matches_sequential(self, space):
+        def batch_objective(configs, budget):
+            return [self.budgeted(p, budget) for p in configs]
+
+        seq = HyperbandOptimizer(space, min_budget=0.2, eta=3, seed=0)
+        seq_best = seq.minimize(self.budgeted, n_configs=6)
+        bat = HyperbandOptimizer(space, min_budget=0.2, eta=3, seed=0)
+        bat_best = bat.minimize(None, n_configs=6, batch_objective=batch_objective)
+        assert (bat_best.params, bat_best.value) == (seq_best.params, seq_best.value)
+        assert [(t.params, t.value) for t in bat.history] == [
+            (t.params, t.value) for t in seq.history
+        ]
+
+    def test_batch_objective_length_mismatch_raises(self, space):
+        with pytest.raises(ValueError, match="values"):
+            successive_halving(
+                None, space, n_configs=4, seed=0,
+                batch_objective=lambda configs, budget: [0.0],
+            )
+
+    def test_non_finite_rung_values_never_promoted(self, space):
+        """A rung batch returning NaN for some configs ranks them last."""
+        def batch_objective(configs, budget):
+            values = []
+            for params in configs:
+                if params["c"] == "target":
+                    values.append(float("nan"))
+                else:
+                    values.append(self.budgeted(params, budget))
+            return values
+
+        history = TrialHistory()
+        result = successive_halving(
+            None, space, n_configs=9, min_budget=0.1, eta=3, seed=2,
+            history=history, batch_objective=batch_objective,
+        )
+        assert np.isfinite(result.best_value) or all(
+            not np.isfinite(t.value) for t in history
+        )

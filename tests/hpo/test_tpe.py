@@ -102,3 +102,108 @@ class TestTPE:
         optimizer = TPEOptimizer(quadratic_space, seed=0)
         optimizer.minimize(quadratic, n_iter=12)
         assert len(optimizer.history) == 12
+
+
+class _ConstantDensity:
+    """Stub density returning a fixed pdf for every value."""
+
+    def __init__(self, pdf_value):
+        self._pdf_value = pdf_value
+
+    def pdf(self, value):
+        return self._pdf_value
+
+
+class TestSurrogateScoreClamping:
+    """Regression: a zero pdf must never produce -inf / NaN surrogate scores."""
+
+    def test_zero_pdf_scores_are_finite(self, quadratic_space):
+        optimizer = TPEOptimizer(quadratic_space, seed=0)
+        names = quadratic_space.names
+        candidate = {name: 0.0 for name in names}
+        good = {name: _ConstantDensity(0.0) for name in names}
+        bad = {name: _ConstantDensity(1.0) for name in names}
+        score = optimizer._surrogate_score(candidate, good, bad)
+        assert np.isfinite(score)
+
+    def test_zero_over_zero_is_not_nan(self, quadratic_space):
+        """log(0) - log(0) used to collapse to NaN and discard the candidate."""
+        optimizer = TPEOptimizer(quadratic_space, seed=0)
+        names = quadratic_space.names
+        candidate = {name: 0.0 for name in names}
+        zero = {name: _ConstantDensity(0.0) for name in names}
+        score = optimizer._surrogate_score(candidate, dict(zero), dict(zero))
+        assert score == 0.0
+
+    def test_zero_good_pdf_ranks_below_positive(self, quadratic_space):
+        """The clamp keeps the ordering: an unsupported candidate loses."""
+        optimizer = TPEOptimizer(quadratic_space, seed=0)
+        names = quadratic_space.names
+        candidate = {name: 0.0 for name in names}
+        bad = {name: _ConstantDensity(0.5) for name in names}
+        supported = optimizer._surrogate_score(
+            candidate, {name: _ConstantDensity(0.5) for name in names}, bad
+        )
+        unsupported = optimizer._surrogate_score(
+            candidate, {name: _ConstantDensity(0.0) for name in names}, bad
+        )
+        assert unsupported < supported
+
+
+class TestNonFiniteTrials:
+    """Failed candidates reporting NaN/inf must not poison the TPE split."""
+
+    def test_split_sees_only_finite_trials(self, quadratic_space):
+        optimizer = TPEOptimizer(quadratic_space, seed=0, n_startup_trials=2)
+        values = [1.0, float("nan"), 2.0, float("inf"), 0.5, float("-inf"), 3.0]
+        for i, value in enumerate(values):
+            optimizer.observe({"x": float(i), "y": float(-i)}, value)
+        good, bad = optimizer._split_trials()
+        assert all(np.isfinite(t.value) for t in good + bad)
+        assert len(good) + len(bad) == 4
+
+    def test_all_non_finite_history_falls_back_to_sampling(self, quadratic_space):
+        optimizer = TPEOptimizer(quadratic_space, seed=0, n_startup_trials=1)
+        for i in range(6):
+            optimizer.observe({"x": float(i), "y": 0.0}, float("nan"))
+        params = optimizer.suggest()
+        quadratic_space.validate(params)
+
+    def test_minimize_survives_sporadic_nan_objective(self, quadratic_space):
+        def flaky(params):
+            value = quadratic(params)
+            return float("nan") if params["x"] > 8 else value
+
+        optimizer = TPEOptimizer(quadratic_space, seed=1, n_startup_trials=3)
+        best = optimizer.minimize(flaky, n_iter=25)
+        assert np.isfinite(best.value)
+
+
+class TestIntegerSampleClamping:
+    """_NumericDensityAdapter.sample must stay inside the dimension bounds."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_samples_within_bounds(self, seed):
+        from repro.hpo.tpe import _NumericDensityAdapter
+
+        rng = np.random.default_rng(seed)
+        dim = IntegerDimension("n", 0, 9)
+        observations = list(rng.integers(dim.low, dim.high + 1, size=12))
+        adapter = _NumericDensityAdapter(dim, observations)
+        for _ in range(200):
+            value = adapter.sample(rng)
+            assert isinstance(value, int)
+            assert dim.low <= value <= dim.high
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_edge_heavy_observations_stay_clamped(self, seed):
+        """Observations piled on the bounds push the KDE mass outward --
+        rounding its clipped samples is exactly where the clamp matters."""
+        from repro.hpo.tpe import _NumericDensityAdapter
+
+        rng = np.random.default_rng(seed)
+        dim = IntegerDimension("n", -3, 3)
+        adapter = _NumericDensityAdapter(dim, [dim.low] * 6 + [dim.high] * 6)
+        for _ in range(300):
+            value = adapter.sample(rng)
+            assert dim.low <= value <= dim.high

@@ -83,3 +83,43 @@ class TestRandomSearch:
         optimizer = RandomSearchOptimizer(space, seed=0)
         optimizer.warm_start([Trial({"x": 0.0, "c": "a"}, 0.1)])
         assert len(optimizer.history) == 1
+
+
+class TestNonFiniteHistory:
+    """TrialHistory accessors must be safe against NaN/inf objective values."""
+
+    @staticmethod
+    def _history(values):
+        history = TrialHistory()
+        for i, value in enumerate(values):
+            history.add(Trial({"i": i}, value))
+        return history
+
+    def test_best_ignores_nan(self):
+        history = self._history([float("nan"), 0.5, 0.3, float("nan")])
+        assert history.best(minimize=True).value == 0.3
+
+    def test_best_ignores_negative_infinity(self):
+        """A -inf 'loss' from a failed candidate must not win the search."""
+        history = self._history([0.4, float("-inf"), 0.2])
+        assert history.best(minimize=True).value == 0.2
+        assert history.best(minimize=False).value == 0.4
+
+    def test_best_all_non_finite_returns_first_trial(self):
+        history = self._history([float("nan"), float("inf")])
+        assert history.best(minimize=True).params == {"i": 0}
+
+    def test_best_empty_raises(self):
+        with pytest.raises(ValueError):
+            TrialHistory().best()
+
+    def test_top_k_ranks_non_finite_last(self):
+        history = self._history([float("nan"), 0.5, float("-inf"), 0.1, 0.3])
+        top = history.top_k(5, minimize=True)
+        assert [t.value for t in top[:3]] == [0.1, 0.3, 0.5]
+        assert all(not np.isfinite(t.value) for t in top[3:])
+
+    def test_top_k_failures_keep_insertion_order(self):
+        history = self._history([float("nan"), float("inf"), 0.9, float("-inf")])
+        tail = history.top_k(4, minimize=True)[1:]
+        assert [t.params["i"] for t in tail] == [0, 1, 3]

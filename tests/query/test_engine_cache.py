@@ -173,9 +173,28 @@ class TestSortOrderCache:
         engine.execute_batch([query_with("a", "MEDIAN"), query_with("b", "MEDIAN")])
         assert (engine.stats.sort_misses, engine.stats.sort_hits) == (2, 0)
         # New functions, same (predicate, keys, value column) triples: the
-        # result cache misses but every order comes from the sort cache.
+        # result cache misses but the main orders come from the sort cache.
+        # MAD's deviation order over predicate "a" is new -- one fresh miss
+        # under the (sort key, MEDIAN) entry.
         engine.execute_batch([query_with("a", "MAD"), query_with("b", "ENTROPY")])
-        assert (engine.stats.sort_misses, engine.stats.sort_hits) == (2, 2)
+        assert (engine.stats.sort_misses, engine.stats.sort_hits) == (3, 2)
+
+    def test_mad_deviation_order_is_cached_per_sort_key(self):
+        engine = numpy_engine(make_relevant(0), result_cache_size=1)
+        # A cold MAD pays two sorts: the main (value, code) order plus the
+        # deviation order, cached under sort_key + ("MEDIAN",).
+        engine.execute(query_with("a", "MAD"))
+        assert (engine.stats.sort_misses, engine.stats.sort_hits) == (2, 0)
+        assert engine.sort_cache_len == 2
+        # A different predicate shares neither order.
+        engine.execute(query_with("b", "MAD"))
+        assert (engine.stats.sort_misses, engine.stats.sort_hits) == (4, 0)
+        assert engine.sort_cache_len == 4
+        # The one-entry result cache has evicted query "a": re-running it
+        # misses the result cache but hits both cached orders.
+        engine.execute(query_with("a", "MAD"))
+        assert (engine.stats.sort_misses, engine.stats.sort_hits) == (4, 2)
+        assert engine.stats.result_misses == 3
 
     def test_misses_across_different_masks_and_keys(self):
         engine = numpy_engine(make_relevant(0))
@@ -211,8 +230,10 @@ class TestSortOrderCache:
     def test_disabled_cache_recomputes_per_plan(self):
         engine = numpy_engine(make_relevant(0), sort_cache_size=0)
         engine.execute(query_with("a", "MEDIAN"))
+        # MAD re-sorts the main order (nothing is cached) and additionally
+        # pays its deviation sort: two misses for the one query.
         engine.execute(query_with("a", "MAD"))
-        assert (engine.stats.sort_misses, engine.stats.sort_hits) == (2, 0)
+        assert (engine.stats.sort_misses, engine.stats.sort_hits) == (3, 0)
         assert engine.sort_cache_len == 0
         # seconds_sorting books the per-plan lexsorts either way.
         assert engine.stats.seconds_sorting > 0.0
@@ -224,8 +245,9 @@ class TestSortOrderCache:
         engine.clear_caches()
         assert engine.sort_cache_len == 0
         assert engine.stats.as_dict() == before  # lifetime counters survive
-        engine.execute(query_with("a", "MAD"))  # cold orders: a fresh miss
-        assert (engine.stats.sort_misses, engine.stats.sort_hits) == (2, 0)
+        # Cold orders: MAD misses both its main and its deviation order.
+        engine.execute(query_with("a", "MAD"))
+        assert (engine.stats.sort_misses, engine.stats.sort_hits) == (3, 0)
 
     def test_reset_composes_clear_and_counter_reset(self):
         engine = numpy_engine(make_relevant(0))
@@ -264,7 +286,8 @@ class TestSortOrderCache:
                 expected = counts
             else:
                 assert counts == expected, (workers, strategy)
-        assert expected == (2, 0)  # one shared order per fused plan
+        # One shared main order plus one MAD deviation order per fused plan.
+        assert expected == (4, 0)
 
 
 class TestRegistryAndStats:
