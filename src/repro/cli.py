@@ -29,7 +29,7 @@ from repro.experiments.reporting import render_table
 from repro.experiments.runner import METHOD_NAMES, run_method
 from repro.ml.model_zoo import MODEL_NAMES
 from repro.query.backends import backend_names
-from repro.query.sharding import SHARD_STRATEGIES
+from repro.query.sharding import EXECUTORS, SHARD_STRATEGIES
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -65,6 +65,23 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
         help="how a multi-worker engine shards: 'plan' partitions a batch's "
         "fused plans across workers, 'group' splits one plan's group ranges",
     )
+    parser.add_argument(
+        "--engine-executor",
+        choices=list(EXECUTORS),
+        default=None,
+        help="execution substrate of the sharded engine: 'thread' runs "
+        "shards on an in-process pool, 'process' on a process pool over "
+        "shared-memory table columns "
+        "(default: $REPRO_ENGINE_EXECUTOR or thread)",
+    )
+    parser.add_argument(
+        "--memory-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="global size-aware budget shared by the engine's mask / result "
+        "/ sort-order caches (default: unbounded)",
+    )
     parser.add_argument("--seed", type=int, default=0, help="random seed")
 
 
@@ -79,6 +96,8 @@ def _config_from_args(args: argparse.Namespace) -> FeatAugConfig:
         engine_backend=args.engine_backend,
         engine_workers=args.engine_workers,
         engine_shard_strategy=args.engine_shard_strategy,
+        engine_executor=args.engine_executor,
+        engine_memory_budget=args.memory_budget,
         seed=args.seed,
     )
 

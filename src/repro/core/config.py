@@ -89,6 +89,14 @@ class FeatAugConfig:
     #: group-code space into contiguous ranges; ``None`` keeps the engine
     #: default ("plan").
     engine_shard_strategy: str | None = None
+    #: execution substrate of the sharded engine: "thread" runs shards on an
+    #: in-process pool, "process" runs them on a process pool over
+    #: shared-memory table columns (:mod:`repro.query.procpool`); ``None``
+    #: uses the process default (``$REPRO_ENGINE_EXECUTOR`` or "thread").
+    engine_executor: str | None = None
+    #: global size-aware budget (bytes) shared by the engine's mask / result
+    #: / sort-order caches; ``None`` = unbounded (entry-count limits only).
+    engine_memory_budget: int | None = None
 
     # ------------------------------------------------------------------
     # Proxy and evaluation
@@ -145,6 +153,8 @@ class FeatAugConfig:
         }
         if self.engine_shard_strategy is not None:
             kwargs["shard_strategy"] = self.engine_shard_strategy
+        kwargs["executor"] = self.engine_executor
+        kwargs["memory_budget_bytes"] = self.engine_memory_budget
         return EngineConfig(**kwargs)
 
     def with_overrides(self, **kwargs) -> "FeatAugConfig":

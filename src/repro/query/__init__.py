@@ -40,6 +40,7 @@ from repro.query.backends import (
     register_backend,
 )
 from repro.query.engine import (
+    CacheBudget,
     EngineConfig,
     EngineStats,
     QueryEngine,
@@ -48,10 +49,12 @@ from repro.query.engine import (
     resolve_engine,
 )
 from repro.query.sharding import (
+    EXECUTORS,
     SHARD_STRATEGIES,
     GroupRangeShards,
     ShardedGroupedAggregator,
     ShardScheduler,
+    default_executor_name,
     default_worker_count,
     split_ranges,
 )
@@ -79,13 +82,16 @@ __all__ = [
     "QueryEngine",
     "EngineConfig",
     "EngineStats",
+    "CacheBudget",
     "default_backend_name",
     "engine_for",
     "resolve_engine",
     "SHARD_STRATEGIES",
+    "EXECUTORS",
     "GroupRangeShards",
     "ShardedGroupedAggregator",
     "ShardScheduler",
+    "default_executor_name",
     "default_worker_count",
     "split_ranges",
     "execute_query",

@@ -64,9 +64,25 @@ class NumpyBackend(GroupIndexBackend):
         context["sort_locks"] = {attr: threading.Lock() for attr in context["sort_keys"]}
         return context
 
+    def range_context(self, plan: QueryPlan, lo: int, hi: int) -> dict:
+        restricted = super().range_context(plan, lo, hi)
+        # Fresh sort state: the per-range filtered rows have no engine-level
+        # cache identity (every key in sort_keys is already None), so orders
+        # are computed locally per range.
+        restricted["sort_orders"] = {}
+        restricted["mad_orders"] = {}
+        restricted["mad_sort_keys"] = {attr: None for attr in restricted["sort_keys"]}
+        restricted["sort_locks"] = {
+            attr: threading.Lock() for attr in restricted["sort_keys"]
+        }
+        return restricted
+
     def prepare_attr(self, attr: str, context: dict):
         row_idx = context["row_idx"]
-        values = self.engine.agg_values(attr, row_idx)
+        # ``agg_rows`` (present in range-restricted contexts) keeps
+        # categorical first-appearance coding over the *full* filtered row
+        # set while the gather below restricts to this range's rows.
+        values = self.engine.agg_values(attr, context.get("agg_rows", row_idx))
         if row_idx is not None:
             values = values[row_idx]
         order_cache = self._order_cache(attr, context, "sort_orders", "sort_keys")

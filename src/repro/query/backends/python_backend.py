@@ -39,7 +39,13 @@ class PythonBackend(GroupIndexBackend):
                 context["index"], context["codes"], context["n_groups"], context["row_idx"]
             )
             context["group_rows"] = group_rows
-        values = self.engine.agg_values(attr, context["row_idx"])
+        # ``agg_rows`` (present in range-restricted contexts, see
+        # ``GroupIndexBackend.range_context``) keeps categorical coding over
+        # the full filtered row set; ``group_rows`` carries full-table
+        # positions either way, so the gather below is unchanged.
+        values = self.engine.agg_values(
+            attr, context.get("agg_rows", context["row_idx"])
+        )
         return [values[rows] for rows in group_rows]
 
     @staticmethod

@@ -46,6 +46,7 @@ split) and degrades to serial execution.
 
 from __future__ import annotations
 
+import os
 import sqlite3
 import threading
 import time
@@ -118,6 +119,10 @@ class SqliteBackend(ExecutionBackend):
 
     def _reset_state(self) -> None:
         self._conn: Optional[sqlite3.Connection] = None
+        #: PID that materialised ``_conn`` -- fork-safety guard: an sqlite
+        #: connection must never be used (or even closed) from a process
+        #: that did not create it.
+        self._conn_pid: Optional[int] = None
         self._colmap: Dict[str, str] = {}
         self._labels: Dict[str, List[object]] = {}
         self._lookups: Dict[str, Dict[object, int]] = {}
@@ -128,7 +133,7 @@ class SqliteBackend(ExecutionBackend):
     def clear(self) -> None:
         """Drop the materialised database; the next plan re-materialises."""
         with self._run_lock:
-            if self._conn is not None:
+            if self._conn is not None and self._conn_pid == os.getpid():
                 self._conn.close()
             self._reset_state()
 
@@ -137,7 +142,13 @@ class SqliteBackend(ExecutionBackend):
     # ------------------------------------------------------------------
     def _ensure_materialized(self) -> sqlite3.Connection:
         if self._conn is not None:
-            return self._conn
+            if self._conn_pid == os.getpid():
+                return self._conn
+            # Forked child: the inherited connection belongs to the parent.
+            # Drop the reference without closing it (closing another
+            # process's handle over shared state is undefined) and
+            # re-materialise in this process.
+            self._reset_state()
         table = self.table
         # check_same_thread=False: the pool may run this instance's plans on
         # different threads (across batches via worker-slot reuse, and even
@@ -185,6 +196,7 @@ class SqliteBackend(ExecutionBackend):
 
         conn.create_aggregate("repro_collect", 2, _Collect)
         self._conn = conn
+        self._conn_pid = os.getpid()
         return conn
 
     # ------------------------------------------------------------------

@@ -34,10 +34,17 @@ re-scan every WHERE predicate) wastes almost all of that work, so a
    backend instances (``shard_strategy="plan"``) or splits one plan's
    group-code space into contiguous ranges (``shard_strategy="group"``);
    results and statistics counters are identical at every worker count
-   (see :mod:`repro.query.sharding` for the determinism contract).  All
-   shared state -- both LRU caches, the group-index map and every
+   (see :mod:`repro.query.sharding` for the determinism contract).
+   ``EngineConfig(executor="process")`` carries the same two strategies on
+   a process pool over shared-memory tables instead
+   (:mod:`repro.query.procpool`) -- results stay bit-identical, while
+   worker-local cache counters then book inside the worker processes.  All
+   shared state -- the LRU caches, the group-index map and every
    statistics mutation -- is lock-protected, so concurrent
-   ``execute_batch`` callers are safe too.
+   ``execute_batch`` callers are safe too, and
+   ``EngineConfig(memory_budget_bytes=...)`` bounds the summed bytes of
+   the mask / result / sort-order caches with size-aware cross-cache
+   eviction (:class:`CacheBudget`).
 
 The engine is an optimisation layer only: for the in-process backends its
 results are element-wise **bit-for-bit identical** to the naive
@@ -87,8 +94,10 @@ from repro.query.backends import ExecutionBackend, backend_names, make_backend
 from repro.query.plan import QueryPlan, atoms_from_query
 from repro.query.query import PredicateAwareQuery
 from repro.query.sharding import (
+    EXECUTORS,
     SHARD_STRATEGIES,
     ShardScheduler,
+    default_executor_name,
     default_worker_count,
 )
 
@@ -140,10 +149,18 @@ class EngineConfig:
     time, so a config built before ``$REPRO_ENGINE_BACKEND`` changes still
     follows the environment; ``num_workers`` of ``None`` likewise resolves to
     :func:`repro.query.sharding.default_worker_count`
-    (``$REPRO_ENGINE_WORKERS`` or 1).  ``shard_strategy`` selects how a
-    multi-worker engine parallelises: ``"plan"`` partitions a batch's fused
-    plans across workers, ``"group"`` splits one plan's group-code space into
-    contiguous ranges (see :mod:`repro.query.sharding`).
+    (``$REPRO_ENGINE_WORKERS`` or 1) and ``executor`` of ``None`` to
+    :func:`repro.query.sharding.default_executor_name`
+    (``$REPRO_ENGINE_EXECUTOR`` or ``"thread"``).  ``shard_strategy`` selects
+    how a multi-worker engine parallelises: ``"plan"`` partitions a batch's
+    fused plans across workers, ``"group"`` splits one plan's group-code
+    space into contiguous ranges (see :mod:`repro.query.sharding`);
+    ``executor`` selects what carries the shards -- a thread pool in the
+    engine's address space or a process pool over shared-memory tables
+    (:mod:`repro.query.procpool`).  ``memory_budget_bytes`` imposes one
+    global size-aware budget across the mask / result / sort-order caches
+    (``None`` = unbounded bytes; the per-cache entry-count bounds always
+    apply).
     """
 
     backend: Optional[str] = None
@@ -155,6 +172,13 @@ class EngineConfig:
     #: order-statistics kernels then re-sort per plan, the pre-cache
     #: behaviour -- the benchmark baseline uses this).
     sort_cache_size: int = DEFAULT_SORT_CACHE_SIZE
+    #: Executor kind carrying the shards: ``"thread"`` | ``"process"``;
+    #: ``None`` follows ``$REPRO_ENGINE_EXECUTOR`` at use time.
+    executor: Optional[str] = None
+    #: Global byte budget shared by the mask / result / sort-order caches
+    #: (size-aware cross-cache eviction, see :class:`CacheBudget`); ``None``
+    #: disables byte-based eviction.
+    memory_budget_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         # An explicitly-named backend is validated eagerly: a typo'd
@@ -170,10 +194,22 @@ class EngineConfig:
                     f"Unknown execution backend {name!r}; "
                     f"registered backends: {backend_names()}"
                 )
+        if self.executor is not None:
+            name = self.executor.strip()
+            object.__setattr__(self, "executor", name or None)
+            if name and name not in EXECUTORS:
+                raise ValueError(
+                    f"Unknown executor {name!r}; expected one of {EXECUTORS}"
+                )
 
     @property
     def backend_name(self) -> str:
         return self.backend or default_backend_name()
+
+    @property
+    def executor_name(self) -> str:
+        """The resolved executor kind (explicit value, else the process default)."""
+        return self.executor or default_executor_name()
 
     @property
     def worker_count(self) -> int:
@@ -204,6 +240,16 @@ class EngineConfig:
             raise ValueError(
                 f"num_workers must be >= 1, got {self.num_workers!r}"
             )
+        if self.executor_name not in EXECUTORS:  # malformed env override
+            raise ValueError(
+                f"Unknown executor {self.executor_name!r}; "
+                f"expected one of {EXECUTORS}"
+            )
+        if self.memory_budget_bytes is not None and self.memory_budget_bytes < 1:
+            raise ValueError(
+                f"memory_budget_bytes must be >= 1 (or None for unbounded), "
+                f"got {self.memory_budget_bytes!r}"
+            )
 
     def cache_key(self) -> tuple:
         """Identity used to share engines per table (backend/workers resolved)."""
@@ -214,6 +260,8 @@ class EngineConfig:
             self.worker_count,
             self.shard_strategy,
             self.sort_cache_size,
+            self.executor_name,
+            self.memory_budget_bytes,
         )
 
 
@@ -234,6 +282,8 @@ class EngineStats:
     backend: str = ""
     #: The engine's resolved worker count (identity, like ``backend``).
     workers: int = 0
+    #: The engine's executor kind ("thread" | "process"; identity).
+    executor: str = ""
     queries: int = 0
     batches: int = 0
     batched_queries: int = 0
@@ -283,13 +333,30 @@ class EngineStats:
     #: Busy wall-clock per shard: plan-level worker slots book under
     #: ``"w<slot>"``, group-range shards under ``"g<range>"``.
     shard_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Entries evicted by the global memory budget's size-aware cross-cache
+    #: eviction (:class:`CacheBudget`); per-cache entry-count evictions keep
+    #: booking under ``mask_evictions``.
+    budget_evictions: int = 0
+    #: Gauge (not a counter): total bytes currently held across the mask /
+    #: result / sort-order caches.  Carried as a current value -- never
+    #: subtracted -- through :meth:`delta_since`; zeroed by
+    #: ``QueryEngine.clear_caches``.
+    bytes_cached: int = 0
+    #: Gauge: current bytes per cache (``{"masks": ..., "results": ...,
+    #: "sort_orders": ...}``).
+    cache_bytes: Dict[str, float] = field(default_factory=dict)
     #: Serialises every mutation (excluded from :meth:`as_dict` / :meth:`reset`).
     _lock: threading.RLock = field(
         default_factory=threading.RLock, repr=False, compare=False
     )
 
     #: Identity fields: carried through :meth:`reset` and :meth:`delta_since`.
-    IDENTITY_FIELDS = ("backend", "workers")
+    IDENTITY_FIELDS = ("backend", "workers", "executor")
+
+    #: Gauge fields: current values, not lifetime counters -- carried
+    #: through :meth:`delta_since` unsubtracted and zeroed when the caches
+    #: they describe are cleared.
+    GAUGE_FIELDS = ("bytes_cached", "cache_bytes")
 
     @property
     def mask_hit_rate(self) -> float:
@@ -340,10 +407,19 @@ class EngineStats:
             out["kernel_seconds"] = dict(self.kernel_seconds)
             out["backend_seconds"] = dict(self.backend_seconds)
             out["shard_seconds"] = dict(self.shard_seconds)
+            out["cache_bytes"] = dict(self.cache_bytes)
             out["mask_hit_rate"] = self.mask_hit_rate
             out["result_hit_rate"] = self.result_hit_rate
             out["worker_utilisation"] = self.worker_utilisation
         return out
+
+    def set_gauges(self, **values) -> None:
+        """Atomically overwrite gauge fields with their current values."""
+        with self._lock:
+            for name, value in values.items():
+                if name not in self.GAUGE_FIELDS:
+                    raise ValueError(f"{name!r} is not a gauge field")
+                setattr(self, name, value)
 
     def record_kernel(
         self, name: str, seconds: float, backend: str, aggregation_only: bool = True
@@ -370,37 +446,59 @@ class EngineStats:
                 self.python_aggregations += 1
 
     def reset(self) -> None:
-        """Zero every counter and timer; identity fields (backend, workers)
-        survive."""
+        """Zero every counter and timer; identity fields (backend, workers,
+        executor) and the byte gauges survive -- gauges describe the caches'
+        *current* contents, which resetting counters does not change
+        (:meth:`QueryEngine.reset` clears the caches first, so its gauges
+        genuinely read zero afterwards)."""
         with self._lock:
-            identity = {name: getattr(self, name) for name in self.IDENTITY_FIELDS}
+            carried = {
+                name: getattr(self, name)
+                for name in self.IDENTITY_FIELDS + self.GAUGE_FIELDS
+            }
             for name, value in EngineStats().__dict__.items():
                 if name.startswith("_"):
                     continue
                 setattr(self, name, value)
-            for name, value in identity.items():
+            for name, value in carried.items():
                 setattr(self, name, value)
 
     def delta_since(self, baseline: Dict[str, float]) -> Dict[str, float]:
         """Counters accumulated since *baseline* (an earlier ``as_dict()``).
 
         Engines are shared per table, so per-run reports must subtract the
-        traffic of earlier runs; derived rates are recomputed from the deltas
-        and identity fields (the backend name, the worker count) are carried
-        through unchanged.
+        traffic of earlier runs; derived rates are recomputed from the deltas,
+        identity fields (the backend name, the worker count, the executor)
+        are carried through unchanged, and gauges (``bytes_cached``,
+        ``cache_bytes``) pass through as current values -- a byte gauge
+        difference is meaningless.  Tolerant of incomplete baselines: a key
+        absent from *baseline* (a snapshot captured before a feature --
+        sharding, the memory budget -- first engaged, or from an older
+        engine) is treated as zero rather than raising, and a baseline
+        value of the wrong shape is ignored.
         """
         current = self.as_dict()
+        baseline = baseline or {}
         delta: Dict[str, float] = {}
         for name, value in current.items():
             if name.endswith("_rate") or name == "worker_utilisation":
                 continue
-            if isinstance(value, str) or name in self.IDENTITY_FIELDS:
+            if (
+                isinstance(value, str)
+                or name in self.IDENTITY_FIELDS
+                or name in self.GAUGE_FIELDS
+            ):
                 delta[name] = value
             elif isinstance(value, dict):
-                base = baseline.get(name) or {}
+                base = baseline.get(name)
+                if not isinstance(base, dict):
+                    base = {}
                 delta[name] = {k: v - base.get(k, 0.0) for k, v in value.items()}
             else:
-                delta[name] = value - baseline.get(name, 0)
+                base = baseline.get(name, 0)
+                if not isinstance(base, (int, float)) or isinstance(base, bool):
+                    base = 0
+                delta[name] = value - base
         masks = delta["mask_hits"] + delta["mask_misses"]
         delta["mask_hit_rate"] = delta["mask_hits"] / masks if masks else 0.0
         results = delta["result_hits"] + delta["result_misses"]
@@ -416,21 +514,112 @@ class EngineStats:
         return delta
 
 
+#: Sentinel distinguishing "absent" from a legitimately cached falsy value
+#: (``None``, an empty array, an empty table): identity tests against
+#: ``_MISS`` are the only presence checks the cache layer uses.
+_MISS = object()
+
+
+def _value_nbytes(value) -> int:
+    """Byte cost of one cached value under the global memory budget.
+
+    Masks are bool arrays (1 byte/row), sort orders int64 arrays (8
+    bytes/filtered row) -- both fall out of ``ndarray.nbytes``.  Result
+    tables cost the sum of their columns' array payloads.  Anything else
+    (test fixtures, third-party values) is charged 0: the entry-count bound
+    still applies.
+    """
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, Table):
+        return int(
+            sum(value.column(name).values.nbytes for name in value.column_names)
+        )
+    return 0
+
+
+class CacheBudget:
+    """One global size-aware byte budget shared by an engine's LRU caches.
+
+    Every registered :class:`_LRUCache` shares this budget's re-entrant lock
+    (so cross-cache eviction needs no lock ordering) and reports per-entry
+    byte costs; :meth:`enforce` runs after every insert and evicts LRU
+    entries from the **cheapest-benefit** non-empty cache until the summed
+    bytes fit the budget again.  Benefit ranks the caches by reuse value per
+    byte: sort orders (int64 per filtered row, cheapest to recompute per
+    byte) go first, then masks, then result tables -- big tables keep more
+    masks than orders.  Deterministic: the victim cache is the non-empty one
+    with the smallest ``(benefit_weight, name)`` and eviction is its LRU
+    head, so identical traffic always evicts identically.  Budget evictions
+    book ``EngineStats.budget_evictions``; the per-cache entry-count bounds
+    keep booking their own eviction counters.
+    """
+
+    def __init__(self, budget_bytes: int, stats: Optional["EngineStats"] = None):
+        self.budget_bytes = int(budget_bytes)
+        self.lock = threading.RLock()
+        self._caches: List["_LRUCache"] = []
+        self._stats = stats
+
+    def register(self, cache: "_LRUCache") -> None:
+        with self.lock:
+            self._caches.append(cache)
+
+    @property
+    def total_bytes(self) -> int:
+        with self.lock:
+            return sum(cache.bytes for cache in self._caches)
+
+    def enforce(self) -> int:
+        """Evict until the summed bytes fit; returns the eviction count."""
+        evicted = 0
+        with self.lock:
+            while sum(cache.bytes for cache in self._caches) > self.budget_bytes:
+                victims = [cache for cache in self._caches if len(cache._data)]
+                if not victims:
+                    break
+                victim = min(victims, key=lambda c: (c.benefit_weight, c.name))
+                victim._evict_lru()
+                evicted += 1
+        if evicted and self._stats is not None:
+            self._stats.bump(budget_evictions=evicted)
+        return evicted
+
+
 class _LRUCache:
-    """A tiny ordered-dict LRU used for masks and result tables.
+    """A tiny ordered-dict LRU used for masks, sort orders and result tables.
 
     Thread-safe: recency bookkeeping (``move_to_end`` during ``get``) makes
     even reads mutating, so every operation serialises on one lock --
     concurrent ``execute_batch`` callers and shard workers can never corrupt
     the order book or evict past the bound.  Cached values (masks, result
     tables) are immutable by contract, so returning them outside the lock is
-    safe.
+    safe.  Presence tests use the ``_MISS`` sentinel, so a legitimately
+    cached falsy value (``None``, an empty array) is a hit, not a miss.
+
+    Every entry carries its :func:`_value_nbytes` cost and ``self.bytes``
+    tracks the exact total.  With a :class:`CacheBudget` attached the cache
+    shares the budget's lock and every insert triggers cross-cache
+    enforcement; ``benefit_weight`` ranks this cache's entries for the
+    budget's cheapest-benefit-first eviction order.
     """
 
-    def __init__(self, maxsize: int):
+    def __init__(
+        self,
+        maxsize: int,
+        name: str = "cache",
+        budget: Optional[CacheBudget] = None,
+        benefit_weight: float = 1.0,
+    ):
         self.maxsize = int(maxsize)
-        self._data: "OrderedDict[object, object]" = OrderedDict()
-        self._lock = threading.Lock()
+        self.name = name
+        self.benefit_weight = float(benefit_weight)
+        self.bytes = 0
+        self._budget = budget
+        self._lock = budget.lock if budget is not None else threading.Lock()
+        self._data: "OrderedDict[object, Tuple[object, int]]" = OrderedDict()
+        if budget is not None:
+            budget.register(self)
 
     def __len__(self) -> int:
         with self._lock:
@@ -440,29 +629,48 @@ class _LRUCache:
         with self._lock:
             return key in self._data
 
-    def get(self, key):
+    def get(self, key, default=None):
         with self._lock:
-            value = self._data.get(key)
-            if value is not None:
-                self._data.move_to_end(key)
-            return value
+            entry = self._data.get(key, _MISS)
+            if entry is _MISS:
+                return default
+            self._data.move_to_end(key)
+            return entry[0]
 
     def put(self, key, value) -> int:
-        """Insert and return the number of entries evicted (0 or 1)."""
+        """Insert and return the number of entry-count evictions (0 or 1).
+
+        Budget-driven evictions are enforced here too (under the same lock)
+        but are booked by the budget itself, not in the return value.
+        """
+        cost = _value_nbytes(value)
         with self._lock:
-            if key in self._data:
+            old = self._data.get(key, _MISS)
+            if old is not _MISS:
+                self._data[key] = (value, cost)
                 self._data.move_to_end(key)
-                self._data[key] = value
-                return 0
-            self._data[key] = value
-            if len(self._data) > self.maxsize:
-                self._data.popitem(last=False)
-                return 1
-            return 0
+                self.bytes += cost - old[1]
+                evicted = 0
+            else:
+                self._data[key] = (value, cost)
+                self.bytes += cost
+                evicted = 0
+                if len(self._data) > self.maxsize:
+                    self._evict_lru()
+                    evicted = 1
+            if self._budget is not None:
+                self._budget.enforce()
+            return evicted
+
+    def _evict_lru(self) -> None:
+        """Drop the LRU head; caller holds the lock."""
+        _key, (_value, nbytes) = self._data.popitem(last=False)
+        self.bytes -= nbytes
 
     def clear(self) -> None:
         with self._lock:
             self._data.clear()
+            self.bytes = 0
 
 
 class GroupIndex:
@@ -557,22 +765,50 @@ class QueryEngine:
         self.backend_name = self.config.backend_name
         self.num_workers = self.config.worker_count
         self.shard_strategy = self.config.shard_strategy
+        self.executor_name = self.config.executor_name
+        self.memory_budget_bytes = self.config.memory_budget_bytes
         # Directly-constructed engines own a strong reference to their table.
         # Registry engines (``engine_for``) hold only a weak one: the registry
         # maps table -> engine, and a strong back-reference from the engine
         # would keep every table ever touched alive for the process lifetime.
         self._table_strong = None if weak_table else table
         self._table_ref = weakref.ref(table)
-        self.stats = EngineStats(backend=self.backend_name, workers=self.num_workers)
+        self.stats = EngineStats(
+            backend=self.backend_name,
+            workers=self.num_workers,
+            executor=self.executor_name,
+        )
         self._indexes: Dict[Tuple[str, ...], GroupIndex] = {}
         self._index_lock = threading.Lock()
-        self._masks = _LRUCache(self.config.mask_cache_size)
-        self._results = _LRUCache(self.config.result_cache_size)
+        #: Global byte budget shared across the three LRU caches (None =
+        #: entry-count bounds only).
+        self.budget: Optional[CacheBudget] = (
+            CacheBudget(self.memory_budget_bytes, self.stats)
+            if self.memory_budget_bytes is not None
+            else None
+        )
+        self._masks = _LRUCache(
+            self.config.mask_cache_size,
+            name="masks",
+            budget=self.budget,
+            benefit_weight=2.0,
+        )
+        self._results = _LRUCache(
+            self.config.result_cache_size,
+            name="results",
+            budget=self.budget,
+            benefit_weight=4.0,
+        )
         # Shared lexsort orders keyed by (predicate signature, keys, attr) --
         # QueryPlan.sort_key -- so queries of one template reuse the
         # order-statistics sort across plans and batches.  None = disabled.
         self._sort_orders: Optional[_LRUCache] = (
-            _LRUCache(self.config.sort_cache_size)
+            _LRUCache(
+                self.config.sort_cache_size,
+                name="sort_orders",
+                budget=self.budget,
+                benefit_weight=1.0,
+            )
             if self.config.sort_cache_size > 0
             else None
         )
@@ -580,8 +816,26 @@ class QueryEngine:
         self._agg_lock = threading.Lock()
         self.backend: ExecutionBackend = make_backend(self.backend_name)
         self.backend.bind(table, engine=self)
-        #: Worker pool + per-worker backend instances (see repro.query.sharding).
-        self.sharder = ShardScheduler(self, self.num_workers, self.shard_strategy)
+        #: Worker pool + per-worker backend instances (see repro.query.sharding
+        #: for the thread scheduler, repro.query.procpool for the process one).
+        if self.executor_name == "process" and self.num_workers > 1:
+            from repro.query.procpool import ProcessShardScheduler
+
+            self.sharder: ShardScheduler = ProcessShardScheduler(
+                self, self.num_workers, self.shard_strategy
+            )
+            # The process scheduler holds the engine weakly, so this
+            # finalizer cannot keep the engine alive; it guarantees the
+            # process pool and shared-memory segments are released even when
+            # the engine is dropped without an explicit close().
+            self._sharder_finalizer = weakref.finalize(
+                self, self.sharder.release, False
+            )
+        else:
+            self.sharder = ShardScheduler(self, self.num_workers, self.shard_strategy)
+            self._sharder_finalizer = None
+        self._closed = False
+        self._refresh_byte_gauges()
 
     @property
     def table(self) -> Table:
@@ -681,8 +935,8 @@ class QueryEngine:
         orders are immutable by the same contract as cached masks.
         """
         if self._sort_orders is not None and key is not None:
-            cached = self._sort_orders.get(key)
-            if cached is not None:
+            cached = self._sort_orders.get(key, _MISS)
+            if cached is not _MISS:
                 self.stats.bump(sort_hits=1)
                 return cached
         start = time.perf_counter()
@@ -690,12 +944,13 @@ class QueryEngine:
         self.stats.bump(sort_misses=1, seconds_sorting=time.perf_counter() - start)
         if self._sort_orders is not None and key is not None:
             self._sort_orders.put(key, order)
+            self._refresh_byte_gauges()
         return order
 
     def _atom_mask(self, signature: Optional[tuple], predicate: Predicate) -> np.ndarray:
         if signature is not None:
-            cached = self._masks.get(signature)
-            if cached is not None:
+            cached = self._masks.get(signature, _MISS)
+            if cached is not _MISS:
                 self.stats.bump(mask_hits=1)
                 return cached
         start = time.perf_counter()
@@ -703,6 +958,7 @@ class QueryEngine:
         self.stats.bump(mask_misses=1, seconds_masking=time.perf_counter() - start)
         if signature is not None:
             self.stats.bump(mask_evictions=self._masks.put(signature, mask))
+            self._refresh_byte_gauges()
         return mask
 
     def plan_mask(self, plan: QueryPlan) -> Optional[np.ndarray]:
@@ -790,8 +1046,8 @@ class QueryEngine:
             )
         key = plan.result_key(0)
         if key is not None:
-            cached = self._results.get(key)
-            if cached is not None:
+            cached = self._results.get(key, _MISS)
+            if cached is not _MISS:
                 self.stats.bump(result_hits=1)
                 return cached
         return self._run_fused([plan], batched=False)[0][0]
@@ -831,8 +1087,8 @@ class QueryEngine:
             pending: List[int] = []
             for i in positions:
                 key = plans[i].result_key(0)
-                cached = self._results.get(key) if key is not None else None
-                if cached is not None:
+                cached = self._results.get(key, _MISS) if key is not None else _MISS
+                if cached is not _MISS:
                     self.stats.bump(result_hits=1)
                     results[i] = cached
                 else:
@@ -866,6 +1122,7 @@ class QueryEngine:
         it (callers check the cache first).
         """
         table_lists = self.sharder.run_fused_plans(plans)
+        cached_any = False
         for plan, tables in zip(plans, table_lists):
             for position, table in enumerate(tables):
                 self.stats.bump(queries=1, batched_queries=1 if batched else 0)
@@ -873,11 +1130,41 @@ class QueryEngine:
                 if key is not None:
                     self.stats.bump(result_misses=1)
                     self._results.put(key, table)
+                    cached_any = True
+        if cached_any:
+            self._refresh_byte_gauges()
         return table_lists
 
     # ------------------------------------------------------------------
     # Cache management
     # ------------------------------------------------------------------
+    def _refresh_byte_gauges(self) -> None:
+        """Re-read the caches' byte totals into the stats gauges.
+
+        Called after every insert and clear; reading the ``bytes`` ints
+        without the cache locks is safe (they are plain attribute reads and
+        gauges are best-effort current values).
+        """
+        cache_bytes = {
+            "masks": float(self._masks.bytes),
+            "results": float(self._results.bytes),
+            "sort_orders": float(
+                self._sort_orders.bytes if self._sort_orders is not None else 0
+            ),
+        }
+        self.stats.set_gauges(
+            bytes_cached=int(sum(cache_bytes.values())), cache_bytes=cache_bytes
+        )
+
+    @property
+    def cached_bytes(self) -> int:
+        """Current bytes held across the mask / result / sort-order caches."""
+        return (
+            self._masks.bytes
+            + self._results.bytes
+            + (self._sort_orders.bytes if self._sort_orders is not None else 0)
+        )
+
     @property
     def mask_cache_len(self) -> int:
         return len(self._masks)
@@ -894,7 +1181,8 @@ class QueryEngine:
         """Drop all derived state: masks, results, sort orders, indexes,
         aggregable arrays, the backend's private materialisations, and the
         shard scheduler's worker backends / pool.  Statistics counters are
-        lifetime counters and are deliberately left untouched; use
+        lifetime counters and are deliberately left untouched (the byte
+        *gauges* drop to zero with the caches they describe); use
         :meth:`reset` for a fully cold engine."""
         self._masks.clear()
         self._results.clear()
@@ -904,6 +1192,21 @@ class QueryEngine:
         self._agg_arrays.clear()
         self.backend.clear()
         self.sharder.clear()
+        self._refresh_byte_gauges()
+
+    def close(self) -> None:
+        """Release every backend / OS resource the engine owns.
+
+        Drops all caches and backend materialisations (sqlite connections
+        included) and shuts the shard scheduler down -- for the process
+        executor that terminates the worker pool and unlinks the
+        shared-memory segments.  Idempotent, callable from ``engine_for``'s
+        table finalizer (it never touches ``self.table``), and the engine
+        remains usable afterwards (resources are re-created lazily).
+        """
+        self.clear_caches()
+        self.sharder.close()
+        self._closed = True
 
     def reset(self) -> None:
         """Return the engine to a cold state: drop all caches, zero the stats
@@ -931,6 +1234,22 @@ _ENGINE_REGISTRY: "weakref.WeakKeyDictionary[Table, Dict[tuple, QueryEngine]]" =
 _REGISTRY_LOCK = threading.Lock()
 
 
+def _close_registry_engines(per_table: Dict[tuple, "QueryEngine"]) -> None:
+    """Finalizer for one table's registry slot: release engine resources.
+
+    Runs when the table is garbage-collected (the WeakKeyDictionary entry is
+    going away anyway); explicit ``close()`` guarantees sqlite connections,
+    process pools and shared-memory segments are released deterministically
+    instead of waiting on the engines' own collection.
+    """
+    for engine in list(per_table.values()):
+        try:
+            engine.close()
+        except Exception:  # pragma: no cover - finalizers must never raise
+            pass
+    per_table.clear()
+
+
 def engine_for(
     table: Table,
     config: Optional[EngineConfig] = None,
@@ -951,6 +1270,7 @@ def engine_for(
         if per_table is None:
             per_table = {}
             _ENGINE_REGISTRY[table] = per_table
+            weakref.finalize(table, _close_registry_engines, per_table)
         key = config.cache_key()
         engine = per_table.get(key)
         if engine is None:

@@ -1,0 +1,557 @@
+"""Process-pool sharded execution over shared-memory tables.
+
+Thread sharding (:mod:`repro.query.sharding`) tops out near 1x on hosts where
+the numpy kernels stay GIL-bound, so ``EngineConfig(executor="process")``
+carries the same two shard strategies on a **process pool** instead:
+
+* **Shared-memory tables** -- :class:`SharedTableStore` places each relevant
+  table's columns into ``multiprocessing.shared_memory`` segments exactly
+  once.  Numeric-like columns ship as their raw float64 buffers; categorical
+  columns ship as int64 first-appearance codes (-1 = missing) plus a pickled
+  label tuple.  Workers receive a picklable :class:`SharedTableHandle` and
+  **map** the segments (zero copies), reconstructing an identical
+  :class:`~repro.dataframe.table.Table` view per process.
+* **Plan-level scheduling** (``shard_strategy="plan"``) -- the coordinator
+  reuses the PR 4 unit splitter / LPT assigner and ships frozen
+  :class:`~repro.query.plan.QueryPlan`\\ s to persistent workers.  Each worker
+  owns a private single-worker :class:`~repro.query.engine.QueryEngine` over
+  the shared table, so its mask / sort-order / group-index caches stay warm
+  across batches.
+* **Group-range sharding** (``shard_strategy="group"``) -- the coordinator
+  computes the plan context (mask, group index, filtered grouping) exactly
+  like thread mode, then fans contiguous group-code ranges out; every worker
+  runs ``ExecutionBackend.range_context`` + ``run_plan_with_context`` on its
+  range and the coordinator concatenates the per-range feature tables in
+  code order.  Backends that own their storage (sqlite: ``plan_context`` is
+  ``None``) degrade to coordinator-serial execution, matching thread mode.
+
+Determinism contract: results are **bit-for-bit identical** to serial
+execution for the in-process backends at any worker count (1e-9 for sqlite)
+-- the shared-memory round-trip reproduces every column exactly, group
+ranges never split a group, and categorical aggregation values are coded
+over the *full* filtered row set (``agg_rows``) so MODE-style code-valued
+kernels see serial's codes.  Coordinator-side statistics (result cache
+accounting, batch / shard counters -- and for the group strategy the mask /
+group-index counters too) book deterministically; counters bumped inside
+worker processes (plan-strategy masking, worker-local sort misses) stay in
+the workers by design and are invisible to the coordinator's
+:class:`~repro.query.engine.EngineStats`.
+
+Resource lifecycle: segments are created lazily on first dispatch, owned by
+the coordinator's :class:`SharedTableStore`, and unlinked deterministically
+by ``QueryEngine.close()`` / ``clear_caches()`` (scheduler ``release``), by
+the engine's ``weakref.finalize`` when it is dropped without closing, and by
+an ``atexit`` backstop -- no ``/dev/shm`` segment outlives the process even
+on a crash-exit.  Worker attachment bypasses Python's resource tracker (the
+coordinator owns the unlink), so no spurious double-unlink warnings.
+
+The pool uses the ``forkserver`` start method when available (fork-safety:
+engines are routinely driven from multi-threaded callers) with this module
+preloaded, falling back to ``spawn``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import threading
+import time
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import get_all_start_methods, get_context, shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dataframe.column import Column, DType
+from repro.dataframe.table import Table
+from repro.query.plan import QueryPlan
+from repro.query.sharding import ShardScheduler, split_ranges
+
+#: Every segment name starts with this prefix, so a leak check is one
+#: ``ls /dev/shm | grep repro_shm`` away (wired into CI).
+SHM_NAME_PREFIX = "repro_shm_"
+
+_SEGMENT_COUNTER = itertools.count()
+
+
+# ----------------------------------------------------------------------
+# Shared-memory table transport
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SharedColumnSpec:
+    """Picklable description of one column living in a shared segment."""
+
+    name: str
+    #: ``DType`` value string (picklable; reconstructed via ``DType(dtype)``).
+    dtype: str
+    #: True for float64-backed columns (numeric / datetime / boolean).
+    numeric: bool
+    shm_name: str
+    length: int
+    #: Categorical label per code, in first-appearance order (None for
+    #: numeric-like columns; missing values are code -1, not a label).
+    labels: Optional[Tuple[object, ...]] = None
+
+
+@dataclass(frozen=True)
+class SharedTableHandle:
+    """Picklable handle workers map (never copy) into a Table view.
+
+    ``token`` identifies the owning :class:`SharedTableStore`, so a worker
+    process attaches and reconstructs each table at most once no matter how
+    many tasks reference it.
+    """
+
+    token: str
+    num_rows: int
+    columns: Tuple[SharedColumnSpec, ...]
+
+
+def _categorical_codes(values: np.ndarray) -> Tuple[np.ndarray, Tuple[object, ...]]:
+    """First-appearance int64 codes (-1 = None) + labels for an object array."""
+    labels: List[object] = []
+    lookup: Dict[object, int] = {}
+    codes = np.empty(len(values), dtype=np.int64)
+    for i, value in enumerate(values):
+        if value is None:
+            codes[i] = -1
+            continue
+        code = lookup.get(value)
+        if code is None:
+            code = len(labels)
+            lookup[value] = code
+            labels.append(value)
+        codes[i] = code
+    return codes, tuple(labels)
+
+
+class SharedTableStore:
+    """Coordinator-owned shared-memory image of one table's columns.
+
+    Creates one segment per column on construction and owns their lifetime:
+    :meth:`close` (idempotent) closes and unlinks every segment.  Live stores
+    are tracked in a module-level registry drained at interpreter exit, so
+    segments cannot leak past the process even when no one closed the engine.
+    """
+
+    def __init__(self, table: Table):
+        self._segments: List[shared_memory.SharedMemory] = []
+        self._closed = False
+        self._lock = threading.Lock()
+        specs: List[SharedColumnSpec] = []
+        try:
+            for name in table.column_names:
+                column = table.column(name)
+                if column.is_numeric_like:
+                    array = np.ascontiguousarray(column.values, dtype=np.float64)
+                    labels = None
+                else:
+                    codes, labels = _categorical_codes(column.values)
+                    array = codes
+                segment = shared_memory.SharedMemory(
+                    name=f"{SHM_NAME_PREFIX}{os.getpid()}_{next(_SEGMENT_COUNTER)}",
+                    create=True,
+                    size=max(1, array.nbytes),  # zero-length segments are illegal
+                )
+                if array.nbytes:
+                    view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+                    view[:] = array
+                self._segments.append(segment)
+                specs.append(
+                    SharedColumnSpec(
+                        name=name,
+                        dtype=column.dtype.value,
+                        numeric=column.is_numeric_like,
+                        shm_name=segment.name,
+                        length=len(column),
+                        labels=labels,
+                    )
+                )
+        except BaseException:
+            self.close()
+            raise
+        self.handle = SharedTableHandle(
+            token=f"{os.getpid()}_{id(self)}",
+            num_rows=table.num_rows,
+            columns=tuple(specs),
+        )
+        _LIVE_STORES.add(self)
+
+    @property
+    def segment_names(self) -> List[str]:
+        return [segment.name for segment in self._segments]
+
+    def close(self) -> None:
+        """Close and unlink every segment; idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            segments, self._segments = self._segments, []
+        for segment in segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+        _LIVE_STORES.discard(self)
+
+
+_LIVE_STORES: "weakref.WeakSet[SharedTableStore]" = weakref.WeakSet()
+
+
+@atexit.register
+def _close_live_stores() -> None:  # pragma: no cover - interpreter teardown
+    for store in list(_LIVE_STORES):
+        store.close()
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to a coordinator-owned segment without tracking it.
+
+    The coordinator's store owns the unlink; letting the worker's resource
+    tracker register the segment too would double-unlink at worker exit
+    (noisy warnings on < 3.13).  ``track=False`` exists from 3.13; earlier
+    interpreters suppress the tracker's ``register`` for the duration of the
+    attach.  (Unregistering *after* the attach is wrong when the worker
+    shares the coordinator's tracker process -- forkserver children do -- as
+    it would strip the coordinator's own registration and make the eventual
+    ``unlink`` trip a KeyError inside the tracker.)
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+
+        def _skip_shm_register(name_, rtype):  # pragma: no cover - trivial
+            if rtype != "shared_memory":
+                original_register(name_, rtype)
+
+        resource_tracker.register = _skip_shm_register
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+
+
+# ----------------------------------------------------------------------
+# Worker-process side
+# ----------------------------------------------------------------------
+#: token -> (Table view, attached segments).  Segments must stay referenced
+#: for as long as the Table views their buffers.
+_WORKER_TABLES: Dict[str, Tuple[Table, List[shared_memory.SharedMemory]]] = {}
+
+#: (token, backend name) -> the worker's private engine (caches stay warm
+#: across tasks and batches).
+_WORKER_ENGINES: Dict[Tuple[str, str], object] = {}
+
+
+def _table_from_handle(
+    handle: SharedTableHandle,
+) -> Tuple[Table, List[shared_memory.SharedMemory]]:
+    """Reconstruct an exact Table view over the mapped segments (no copies
+    for numeric-like columns; categorical labels are re-materialised from
+    codes so values -- and therefore first-appearance coding -- are
+    identical to the coordinator's column)."""
+    segments: List[shared_memory.SharedMemory] = []
+    columns: List[Column] = []
+    for spec in handle.columns:
+        segment = _attach_segment(spec.shm_name)
+        segments.append(segment)
+        if spec.numeric:
+            values = np.ndarray((spec.length,), dtype=np.float64, buffer=segment.buf)
+        else:
+            codes = np.ndarray((spec.length,), dtype=np.int64, buffer=segment.buf)
+            lookup = np.empty(len(spec.labels) + 1, dtype=object)
+            lookup[: len(spec.labels)] = list(spec.labels)
+            lookup[-1] = None  # code -1 indexes the trailing None
+            values = lookup[codes]
+        columns.append(Column(spec.name, values, dtype=DType(spec.dtype)))
+    return Table(columns), segments
+
+
+def _worker_engine(handle: SharedTableHandle, backend_name: str):
+    """The worker's persistent engine for (shared table, backend)."""
+    key = (handle.token, backend_name)
+    engine = _WORKER_ENGINES.get(key)
+    if engine is None:
+        entry = _WORKER_TABLES.get(handle.token)
+        if entry is None:
+            entry = _table_from_handle(handle)
+            _WORKER_TABLES[handle.token] = entry
+        # Imported lazily: engine.py imports this module for the scheduler,
+        # and workers must not inherit the coordinator's env-driven executor
+        # / worker-count defaults (a worker pool spawning worker pools).
+        from repro.query.engine import EngineConfig, QueryEngine
+
+        engine = QueryEngine(
+            entry[0],
+            config=EngineConfig(
+                backend=backend_name, num_workers=1, executor="thread"
+            ),
+        )
+        _WORKER_ENGINES[key] = engine
+    return engine
+
+
+def _run_plan_chunk(
+    handle: SharedTableHandle,
+    backend_name: str,
+    plans: Sequence[QueryPlan],
+    chunk: Sequence[Tuple[int, int, int, float]],
+):
+    """Plan-strategy worker task: run whole (spec ranges of) fused plans."""
+    engine = _worker_engine(handle, backend_name)
+    results = []
+    start = time.perf_counter()
+    for unit in chunk:
+        i, lo, hi, _cost = unit
+        plan = plans[i]
+        if hi - lo != len(plan.aggregates):
+            plan = plan.with_aggregates(plan.aggregates[lo:hi])
+        results.append((unit, engine.backend.run_plan(plan)))
+    return results, time.perf_counter() - start
+
+
+def _run_group_range(
+    handle: SharedTableHandle,
+    backend_name: str,
+    plan: QueryPlan,
+    lo: int,
+    hi: int,
+):
+    """Group-strategy worker task: one contiguous group-code range."""
+    engine = _worker_engine(handle, backend_name)
+    start = time.perf_counter()
+    context = engine.backend.range_context(plan, lo, hi)
+    tables = engine.backend.run_plan_with_context(plan, context)
+    return tables, time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+_MP_CONTEXT = None
+_MP_CONTEXT_LOCK = threading.Lock()
+
+
+def _mp_context():
+    """The start-method context shared by every process scheduler.
+
+    ``forkserver`` when the platform offers it: plain ``fork`` from a
+    multi-threaded coordinator (the engine's documented concurrency mode)
+    can deadlock the child, and ``spawn`` pays a full interpreter + import
+    per worker.  This module is preloaded into the fork server so each
+    worker forks with numpy and the engine stack already imported.
+    """
+    global _MP_CONTEXT
+    with _MP_CONTEXT_LOCK:
+        if _MP_CONTEXT is None:
+            if "forkserver" in get_all_start_methods():
+                context = get_context("forkserver")
+                try:
+                    context.set_forkserver_preload(["repro.query.procpool"])
+                except Exception:  # pragma: no cover - preload is an optimisation
+                    pass
+            else:  # pragma: no cover - non-POSIX fallback
+                context = get_context("spawn")
+            _MP_CONTEXT = context
+    return _MP_CONTEXT
+
+
+class ProcessShardScheduler(ShardScheduler):
+    """:class:`ShardScheduler` whose shards run on a process pool.
+
+    Reuses the thread scheduler's activation predicates, unit splitter and
+    LPT assignment; overrides execution to ship plans (and, for the group
+    strategy, group-code ranges) to persistent worker processes mapping the
+    table from shared memory.  Holds its engine **weakly** so the engine's
+    ``weakref.finalize`` can release the pool and segments without a
+    liveness cycle.
+    """
+
+    def __init__(self, engine, num_workers: int, shard_strategy: str):
+        super().__init__(engine, num_workers, shard_strategy)
+        self._store: Optional[SharedTableStore] = None
+
+    # The base class assigns ``self.engine = engine``; route it through a
+    # weak reference (see class docstring).
+    @property
+    def engine(self):
+        engine = self._engine_ref()
+        if engine is None:
+            raise ReferenceError("The engine of this scheduler has been collected")
+        return engine
+
+    @engine.setter
+    def engine(self, value) -> None:
+        self._engine_ref = weakref.ref(value)
+
+    def group_range_active(self, n_groups: int) -> bool:
+        """Never: group-range fan-out happens at the scheduler level (whole
+        ranges per worker process), not inside the coordinator's backend."""
+        return False
+
+    # ------------------------------------------------------------------
+    # Resources
+    # ------------------------------------------------------------------
+    def _pool_and_handle(self) -> Tuple[ProcessPoolExecutor, SharedTableHandle]:
+        with self._lock:
+            if self._store is None:
+                self._store = SharedTableStore(self.engine.table)
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.num_workers, mp_context=_mp_context()
+                )
+            return self._pool, self._store.handle
+
+    @property
+    def store(self) -> Optional[SharedTableStore]:
+        """The live shared-memory store (observability / leak tests)."""
+        return self._store
+
+    def release(self, wait: bool = True) -> None:
+        """Shut the pool down and unlink the shared segments; idempotent.
+
+        Never touches ``self.engine`` -- this is the engine finalizer's
+        callback, at which point the engine is already gone.
+        """
+        with self._lock:
+            pool, self._pool = self._pool, None
+            store, self._store = self._store, None
+        if pool is not None:
+            pool.shutdown(wait=wait)
+        if store is not None:
+            # POSIX keeps live worker mappings valid past the unlink, so
+            # releasing with wait=False (finalizer path) is still safe.
+            store.close()
+
+    def clear(self) -> None:
+        """Derived-state drop (``clear_caches``): same as :meth:`release`."""
+        self.release(wait=True)
+
+    def close(self) -> None:
+        self.release(wait=True)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_fused_plans(self, plans: Sequence[QueryPlan]) -> List[List[Table]]:
+        plans = list(plans)
+        if self.shard_strategy == "group":
+            return [self._run_group_plan(plan) for plan in plans]
+        if not self.plan_parallel_active(len(plans)):
+            return self._run_serial(plans)
+        return self._run_plan_parallel(plans)
+
+    def _run_serial(self, plans: Sequence[QueryPlan]) -> List[List[Table]]:
+        engine = self.engine
+        results = []
+        for plan in plans:
+            start = time.perf_counter()
+            results.append(engine.backend.run_plan(plan))
+            engine.stats.add_split(
+                "backend_seconds", engine.backend_name, time.perf_counter() - start
+            )
+        return results
+
+    def _run_plan_parallel(self, plans: List[QueryPlan]) -> List[List[Table]]:
+        """Plan strategy: LPT-assign spec units to persistent workers.
+
+        Workers own the whole execution of their plans (masking, grouping,
+        sorting included) against their private engines, so unlike thread
+        mode no contexts are prefetched and the coordinator's mask / sort
+        counters stay untouched; plan costs fall back to the full-table
+        estimate, which keeps the unit split deterministic.
+        """
+        engine = self.engine
+        stats = engine.stats
+        units = self._split_units(plans, [None] * len(plans))
+        assignments = self._assign_units(units)
+        pool, handle = self._pool_and_handle()
+        start = time.perf_counter()
+        futures = [
+            (slot, pool.submit(_run_plan_chunk, handle, engine.backend_name, plans, chunk))
+            for slot, chunk in enumerate(assignments)
+            if chunk
+        ]
+        chunk_results = [(slot, future.result()) for slot, future in futures]
+        stats.bump(seconds_sharding=time.perf_counter() - start, sharded_batches=1)
+        results: List[List[Optional[Table]]] = [
+            [None] * len(plan.aggregates) for plan in plans
+        ]
+        for slot, (chunk, busy) in chunk_results:
+            stats.add_split("backend_seconds", engine.backend_name, busy)
+            stats.add_split("shard_seconds", f"w{slot}", busy)
+            stats.bump(plan_shards=len(chunk))
+            for (i, lo, _hi, _cost), tables in chunk:
+                for offset, table in enumerate(tables):
+                    results[i][lo + offset] = table
+        return results  # type: ignore[return-value]
+
+    def _run_group_plan(self, plan: QueryPlan) -> List[Table]:
+        """Group strategy: coordinator-prepared context, ranges per worker.
+
+        The context (mask, group index, filtered grouping) is computed on
+        the coordinator exactly like thread mode -- booking the same mask /
+        index / grouping statistics -- and workers re-derive only the
+        range-restricted view via ``range_context``.  Backends without plan
+        contexts (sqlite) run serially on the coordinator, like thread mode
+        group sharding, which never engages for them either.
+        """
+        engine = self.engine
+        stats = engine.stats
+        backend = engine.backend
+        start = time.perf_counter()
+        context = backend.plan_context(plan)
+        if context is None:
+            result = backend.run_plan(plan)
+            stats.add_split(
+                "backend_seconds", engine.backend_name, time.perf_counter() - start
+            )
+            return result
+        n_groups = context["n_groups"]
+        ranges = split_ranges(n_groups, self.num_workers)
+        if n_groups <= 1 or self.num_workers <= 1 or len(ranges) <= 1:
+            result = backend.run_plan_with_context(plan, context)
+            stats.add_split(
+                "backend_seconds", engine.backend_name, time.perf_counter() - start
+            )
+            return result
+        pool, handle = self._pool_and_handle()
+        fan_start = time.perf_counter()
+        futures = [
+            pool.submit(_run_group_range, handle, engine.backend_name, plan, lo, hi)
+            for lo, hi in ranges
+        ]
+        parts = [future.result() for future in futures]
+        stats.bump(
+            seconds_sharding=time.perf_counter() - fan_start,
+            group_shards=len(ranges),
+        )
+        for i, (_tables, busy) in enumerate(parts):
+            stats.add_split("shard_seconds", f"g{i}", busy)
+            stats.add_split("backend_seconds", engine.backend_name, busy)
+        n_specs = len(plan.aggregates)
+        return [
+            _concat_feature_tables([tables[s] for tables, _busy in parts])
+            for s in range(n_specs)
+        ]
+
+
+def _concat_feature_tables(pieces: Sequence[Table]) -> Table:
+    """Row-concatenate per-range feature tables (identical schemas)."""
+    if len(pieces) == 1:
+        return pieces[0]
+    first = pieces[0]
+    columns = []
+    for name in first.column_names:
+        dtype = first.column(name).dtype
+        arrays = [piece.column(name).values for piece in pieces]
+        columns.append(Column(name, np.concatenate(arrays), dtype=dtype))
+    return Table(columns)

@@ -67,6 +67,15 @@ WORKERS_ENV_VAR = "REPRO_ENGINE_WORKERS"
 #: or split one plan's group-code space into contiguous ranges ("group").
 SHARD_STRATEGIES = ("plan", "group")
 
+#: Environment variable overriding the default executor kind (used by the CI
+#: process-executor matrix slot to replay the query suites across processes).
+EXECUTOR_ENV_VAR = "REPRO_ENGINE_EXECUTOR"
+
+#: The two executor kinds: a thread pool sharing the engine's address space
+#: ("thread", this module) or a process pool over shared-memory tables
+#: ("process", :mod:`repro.query.procpool`).
+EXECUTORS = ("thread", "process")
+
 
 def default_worker_count() -> int:
     """The process-wide default worker count: ``$REPRO_ENGINE_WORKERS`` or 1.
@@ -86,6 +95,24 @@ def default_worker_count() -> int:
     if workers < 1:
         raise ValueError(f"${WORKERS_ENV_VAR} must be a positive integer, got {raw!r}")
     return workers
+
+
+def default_executor_name() -> str:
+    """The process-wide default executor: ``$REPRO_ENGINE_EXECUTOR`` or thread.
+
+    Raises ``ValueError`` on an unknown value -- eagerly, like the backend and
+    worker-count defaults, so a typo'd environment surfaces at config
+    resolution instead of silently running single-address-space.
+    """
+    raw = os.environ.get(EXECUTOR_ENV_VAR, "").strip()
+    if not raw:
+        return "thread"
+    if raw not in EXECUTORS:
+        raise ValueError(
+            f"${EXECUTOR_ENV_VAR} names an unknown executor {raw!r}; "
+            f"expected one of {EXECUTORS}"
+        )
+    return raw
 
 
 def split_ranges(n: int, shards: int) -> List[Tuple[int, int]]:
@@ -347,6 +374,16 @@ class ShardScheduler:
             backend.clear()
         if pool is not None:
             pool.shutdown(wait=True)
+
+    def close(self) -> None:
+        """Release every scheduler-owned OS resource (pool, worker backends).
+
+        For the thread scheduler this is :meth:`clear`; the process scheduler
+        (:class:`repro.query.procpool.ProcessShardScheduler`) overrides it to
+        also shut its process pool down and unlink the shared-memory
+        segments.  Idempotent, and safe after the engine's table has died.
+        """
+        self.clear()
 
     # ------------------------------------------------------------------
     # Plan-level scheduling

@@ -22,7 +22,15 @@ from repro.query.query import PredicateAwareQuery
 
 
 def numpy_engine(table: Table, **config_overrides) -> QueryEngine:
-    """An engine pinned to the in-process numpy backend (mask-cache tests)."""
+    """An engine pinned to the in-process numpy backend (mask-cache tests).
+
+    The thread executor is pinned too: under ``executor="process"`` the
+    plan-strategy workers own masking and sorting, so coordinator-side mask /
+    sort counters stay at zero by design and these pins would not hold (the
+    CI executor matrix slot replays this file with
+    ``$REPRO_ENGINE_EXECUTOR=process``).
+    """
+    config_overrides.setdefault("executor", "thread")
     return QueryEngine(table, config=EngineConfig(backend="numpy", **config_overrides))
 
 
@@ -242,9 +250,18 @@ class TestSortOrderCache:
         engine = numpy_engine(make_relevant(0))
         engine.execute(query_with("a", "MEDIAN"))
         before = engine.stats.as_dict()
+        assert before["bytes_cached"] > 0
         engine.clear_caches()
         assert engine.sort_cache_len == 0
-        assert engine.stats.as_dict() == before  # lifetime counters survive
+        # Lifetime counters survive; only the byte *gauges* drop to zero
+        # with the now-empty caches.
+        after = engine.stats.as_dict()
+        gauges = {"bytes_cached", "cache_bytes"}
+        assert {k: v for k, v in after.items() if k not in gauges} == {
+            k: v for k, v in before.items() if k not in gauges
+        }
+        assert after["bytes_cached"] == 0
+        assert all(v == 0.0 for v in after["cache_bytes"].values())
         # Cold orders: MAD misses both its main and its deviation order.
         engine.execute(query_with("a", "MAD"))
         assert (engine.stats.sort_misses, engine.stats.sort_hits) == (3, 0)
@@ -277,7 +294,10 @@ class TestSortOrderCache:
             engine = QueryEngine(
                 table,
                 config=EngineConfig(
-                    backend="numpy", num_workers=workers, shard_strategy=strategy
+                    backend="numpy",
+                    num_workers=workers,
+                    shard_strategy=strategy,
+                    executor="thread",
                 ),
             )
             engine.execute_batch(batch)

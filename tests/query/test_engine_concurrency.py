@@ -29,6 +29,7 @@ from repro.dataframe.table import Table
 from repro.query.backends import backend_names
 from repro.query.engine import EngineConfig, EngineStats, QueryEngine, _LRUCache
 from repro.query.query import PredicateAwareQuery
+from repro.query.sharding import EXECUTORS
 
 BACKENDS = tuple(backend_names())
 EXACT_BACKENDS = ("numpy", "python")
@@ -196,27 +197,41 @@ class TestConcurrentExecuteBatch:
         assert stats.queries == stats.result_misses
         assert stats.batches == N_THREADS * N_ROUNDS
 
-    def test_concurrent_batches_with_plan_sharding(self, backend):
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_concurrent_batches_with_plan_sharding(self, backend, executor):
         table = make_relevant(1)
         expected = self.expected_for(table, backend)
         engine = QueryEngine(
             table,
-            config=EngineConfig(backend=backend, num_workers=3, shard_strategy="plan"),
+            config=EngineConfig(
+                backend=backend, num_workers=3, shard_strategy="plan", executor=executor
+            ),
         )
-        self.stress(engine, expected, exact=backend in EXACT_BACKENDS)
-        stats = engine.stats
-        total = N_THREADS * N_ROUNDS * len(make_batch())
-        assert stats.result_hits + stats.result_misses == total
-        assert stats.queries == stats.result_misses
+        try:
+            self.stress(engine, expected, exact=backend in EXACT_BACKENDS)
+            # Result accounting is coordinator-side in *every* executor mode,
+            # so the exactness invariant holds for process pools too.
+            stats = engine.stats
+            total = N_THREADS * N_ROUNDS * len(make_batch())
+            assert stats.result_hits + stats.result_misses == total
+            assert stats.queries == stats.result_misses
+        finally:
+            engine.close()
 
-    def test_concurrent_batches_with_group_sharding(self, backend):
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_concurrent_batches_with_group_sharding(self, backend, executor):
         table = make_relevant(2)
         expected = self.expected_for(table, backend)
         engine = QueryEngine(
             table,
-            config=EngineConfig(backend=backend, num_workers=3, shard_strategy="group"),
+            config=EngineConfig(
+                backend=backend, num_workers=3, shard_strategy="group", executor=executor
+            ),
         )
-        self.stress(engine, expected, exact=backend in EXACT_BACKENDS)
+        try:
+            self.stress(engine, expected, exact=backend in EXACT_BACKENDS)
+        finally:
+            engine.close()
 
     def test_mask_cache_stays_bounded_and_correct(self, backend):
         """Eviction churn from many threads never corrupts mask reuse."""
@@ -230,3 +245,74 @@ class TestConcurrentExecuteBatch:
         expected = self.expected_for(table, backend)
         self.stress(engine, expected, exact=True)
         assert engine.mask_cache_len <= 2
+
+
+class TestMemoryBudgetConcurrency:
+    """The global byte budget holds under concurrent traffic: no interleaving
+    of hits, puts and cross-cache evictions ever leaves the caches over
+    budget or the byte accounting out of sync with the cache contents."""
+
+    BUDGET = 8 * 1024
+
+    def make_engine(self):
+        return QueryEngine(
+            make_relevant(4, n=2000),
+            config=EngineConfig(
+                backend="numpy",
+                num_workers=1,
+                executor="thread",
+                memory_budget_bytes=self.BUDGET,
+            ),
+        )
+
+    def budget_batch(self):
+        return [
+            PredicateAwareQuery(
+                func, "val", ("key",), {"cat": value}, {"cat": DType.CATEGORICAL}
+            )
+            for value in "abcd"
+            for func in ("SUM", "MEDIAN", "MAD")
+        ]
+
+    def test_budget_never_exceeded_under_concurrent_traffic(self):
+        engine = self.make_engine()
+        queries = self.budget_batch()
+        errors = []
+
+        def caller():
+            try:
+                for _ in range(N_ROUNDS):
+                    engine.execute_batch(queries)
+                    # Sampled mid-flight from every caller: the budget is a
+                    # hard ceiling, not an eventually-consistent target.
+                    assert engine.budget.total_bytes <= self.BUDGET
+                    assert engine.cached_bytes <= self.BUDGET
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=caller) for _ in range(N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors[0]
+        # The workload genuinely overflows the budget (sort orders alone are
+        # ~4 KiB per predicate value), so evictions must have happened.
+        assert engine.stats.budget_evictions > 0
+        # Byte accounting stayed exact: the incremental `.bytes` totals match
+        # a from-scratch recomputation over the surviving entries.
+        with engine.budget.lock:
+            for cache in engine.budget._caches:
+                recomputed = sum(nbytes for _, nbytes in cache._data.values())
+                assert cache.bytes == recomputed
+        assert engine.cached_bytes == engine.budget.total_bytes
+
+    def test_clear_caches_zeroes_gauges_keeps_eviction_counter(self):
+        engine = self.make_engine()
+        engine.execute_batch(self.budget_batch())
+        evictions = engine.stats.budget_evictions
+        assert evictions > 0
+        engine.clear_caches()
+        assert engine.cached_bytes == 0
+        assert engine.stats.bytes_cached == 0
+        assert engine.stats.budget_evictions == evictions  # lifetime counter

@@ -15,6 +15,17 @@ like its serial-vs-naive bar.
 Edge cases pinned explicitly: empty filter results (empty groups),
 single-group tables, and group counts smaller than the worker count (shards
 must degrade, never produce empty ranges or duplicate groups).
+
+The same equivalence bars hold for the **process executor**
+(``EngineConfig(executor="process")``, :mod:`repro.query.procpool`):
+workers aggregate over shared-memory views of the exact same float64 /
+object column arrays, so numpy / python stay bit-identical and sqlite keeps
+its 1e-9 bar.  The process suite additionally pins deterministic
+shared-memory cleanup: after ``QueryEngine.close()`` no segment of the
+engine's store remains in ``/dev/shm``.  The hypothesis property suite and
+the stats pins stay on the thread executor (helpers pin
+``executor="thread"`` so the CI executor matrix slot cannot flip them):
+process plan-sharding books mask / sort counters worker-side by design.
 """
 
 import numpy as np
@@ -41,14 +52,28 @@ VALUE_TOLERANCE = 1e-9
 finite_floats = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False)
 
 
+#: Worker counts exercised by the process-executor suite (kept small: every
+#: multi-worker case spins up a real process pool).
+PROCESS_WORKER_COUNTS = (1, 2, 4)
+
+
 def serial_engine(table: Table, backend: str) -> QueryEngine:
-    return QueryEngine(table, config=EngineConfig(backend=backend, num_workers=1))
+    return QueryEngine(
+        table, config=EngineConfig(backend=backend, num_workers=1, executor="thread")
+    )
 
 
-def sharded_engine(table: Table, backend: str, workers: int, strategy: str) -> QueryEngine:
+def sharded_engine(
+    table: Table, backend: str, workers: int, strategy: str, executor: str = "thread"
+) -> QueryEngine:
     return QueryEngine(
         table,
-        config=EngineConfig(backend=backend, num_workers=workers, shard_strategy=strategy),
+        config=EngineConfig(
+            backend=backend,
+            num_workers=workers,
+            shard_strategy=strategy,
+            executor=executor,
+        ),
     )
 
 
@@ -179,6 +204,120 @@ class TestShardEquivalenceEdgeCases:
             ]
         )
         self.run_both(table, backend, workers, strategy)
+
+
+def process_table(seed: int = 3) -> Table:
+    """NaN / None-bearing table for the process suite (numeric + categorical
+    columns cover both shared-memory transports)."""
+    rng = np.random.default_rng(seed)
+    n = 120
+    return Table(
+        [
+            Column("key", rng.integers(0, 11, size=n).astype(np.float64), dtype=DType.NUMERIC),
+            Column(
+                "cat",
+                [["x", "y", "z", None][i] for i in rng.integers(0, 4, size=n)],
+                dtype=DType.CATEGORICAL,
+            ),
+            Column(
+                "val",
+                np.where(rng.random(n) < 0.15, np.nan, rng.normal(size=n)),
+                dtype=DType.NUMERIC,
+            ),
+        ]
+    )
+
+
+def process_batch():
+    queries = []
+    for predicates in ({}, {"cat": "x"}, {"cat": "missing"}):
+        for func in ("SUM", "COUNT", "MEDIAN", "MODE", "ENTROPY", "KURTOSIS", "MAD"):
+            queries.append(
+                PredicateAwareQuery(
+                    func, "val", ("key",), dict(predicates),
+                    {k: DType.CATEGORICAL for k in predicates},
+                )
+            )
+    # Categorical aggregation attribute: exercises the code/label transport.
+    queries.append(
+        PredicateAwareQuery("MODE", "cat", ("key",), {"cat": "x"}, {"cat": DType.CATEGORICAL})
+    )
+    queries.append(PredicateAwareQuery("COUNT_DISTINCT", "cat", ("key",), {}, {}))
+    return queries
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("workers", PROCESS_WORKER_COUNTS)
+class TestProcessExecutorEquivalence:
+    """Process-pool execution vs serial: the thread suite's bars, plus
+    deterministic shared-memory cleanup on ``close()``."""
+
+    def test_matches_serial_and_releases_shm(self, backend, strategy, workers):
+        import os
+
+        table = process_table()
+        queries = process_batch()
+        expected = serial_engine(table, backend).execute_batch(queries)
+        engine = sharded_engine(table, backend, workers, strategy, executor="process")
+        assert_batches_match(backend, engine.execute_batch(queries), expected)
+        # A second pass is served from the coordinator's result cache.
+        assert_batches_match(backend, engine.execute_batch(queries), expected)
+        assert engine.stats.result_hits == len(queries)
+        store = getattr(engine.sharder, "store", None)
+        names = list(store.segment_names) if store is not None else []
+        if workers > 1 and strategy == "plan":
+            # Plan sharding with >1 worker genuinely placed the table in
+            # shared memory (group sharding may fall back serially when the
+            # backend exposes no plan context, e.g. sqlite).
+            assert names
+        engine.close()
+        engine.close()  # idempotent
+        for name in names:
+            assert not os.path.exists("/dev/shm/" + name), name
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+class TestProcessExecutorStats:
+    """Process-mode stats are deterministic: two identical runs on fresh
+    engines book identical integer counters (result-cache accounting is
+    coordinator-side, so queries / batches / result_* also match thread
+    mode; mask / sort counters are worker-side under plan sharding and are
+    simply deterministic)."""
+
+    def test_counters_deterministic_across_runs(self, strategy):
+        snapshots = []
+        for _ in range(2):
+            engine = sharded_engine(
+                process_table(), "numpy", 4, strategy, executor="process"
+            )
+            engine.execute_batch(process_batch())
+            stats = engine.stats.as_dict()
+            engine.close()
+            snapshots.append(
+                {
+                    k: v
+                    for k, v in stats.items()
+                    if isinstance(v, int) and not isinstance(v, bool)
+                }
+            )
+        assert snapshots[0] == snapshots[1]
+        assert snapshots[0]["queries"] == len(process_batch())
+
+    def test_result_accounting_matches_thread_mode(self, strategy):
+        thread_engine = sharded_engine(process_table(), "numpy", 4, strategy)
+        thread_engine.execute_batch(process_batch())
+        proc_engine = sharded_engine(
+            process_table(), "numpy", 4, strategy, executor="process"
+        )
+        proc_engine.execute_batch(process_batch())
+        names = ("queries", "batches", "batched_queries", "result_hits", "result_misses")
+        got = {name: getattr(proc_engine.stats, name) for name in names}
+        want = {name: getattr(thread_engine.stats, name) for name in names}
+        proc_engine.close()
+        assert got == want
+        assert proc_engine.stats.executor == "process"
+        assert thread_engine.stats.executor == "thread"
 
 
 class TestSplitRanges:
