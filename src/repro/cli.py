@@ -75,6 +75,15 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
         "(default: $REPRO_ENGINE_EXECUTOR or thread)",
     )
     parser.add_argument(
+        "--engine-incremental",
+        action="store_true",
+        default=None,
+        help="delta-aware execution: on a relevant-table append the engine "
+        "extends its cached masks / group indexes / additive results over "
+        "the appended rows instead of flushing every cache "
+        "(default: $REPRO_ENGINE_INCREMENTAL or off)",
+    )
+    parser.add_argument(
         "--memory-budget",
         type=int,
         default=None,
@@ -98,6 +107,7 @@ def _config_from_args(args: argparse.Namespace) -> FeatAugConfig:
         engine_shard_strategy=args.engine_shard_strategy,
         engine_executor=args.engine_executor,
         engine_memory_budget=args.memory_budget,
+        engine_incremental=args.engine_incremental,
         seed=args.seed,
     )
 

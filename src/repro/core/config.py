@@ -97,6 +97,12 @@ class FeatAugConfig:
     #: global size-aware budget (bytes) shared by the engine's mask / result
     #: / sort-order caches; ``None`` = unbounded (entry-count limits only).
     engine_memory_budget: int | None = None
+    #: delta-aware execution (:mod:`repro.query.delta`): on a relevant-table
+    #: append the engine extends its cached masks / group indexes / additive
+    #: results over the appended slice instead of flushing every cache;
+    #: ``None`` uses the process default (``$REPRO_ENGINE_INCREMENTAL`` or
+    #: off, which flushes on append -- always correct, never stale).
+    engine_incremental: bool | None = None
 
     # ------------------------------------------------------------------
     # Proxy and evaluation
@@ -155,6 +161,7 @@ class FeatAugConfig:
             kwargs["shard_strategy"] = self.engine_shard_strategy
         kwargs["executor"] = self.engine_executor
         kwargs["memory_budget_bytes"] = self.engine_memory_budget
+        kwargs["incremental"] = self.engine_incremental
         return EngineConfig(**kwargs)
 
     def with_overrides(self, **kwargs) -> "FeatAugConfig":

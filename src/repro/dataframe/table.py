@@ -19,6 +19,7 @@ class Table:
 
     def __init__(self, columns: Sequence[Column] | Mapping[str, Column] | None = None):
         self._columns: Dict[str, Column] = {}
+        self._version = 0
         if columns is None:
             columns = []
         if isinstance(columns, Mapping):
@@ -245,6 +246,76 @@ class Table:
 
     def copy(self) -> "Table":
         return Table([c.copy() for c in self._columns.values()])
+
+    # ------------------------------------------------------------------
+    # Append path (versioned, in place)
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped by every :meth:`append_rows` call.
+
+        Consumers that cache derived state (group indexes, predicate masks,
+        materialized copies) tag their caches with the version they observed
+        and refresh when it changes.
+        """
+        return self._version
+
+    def append_rows(self, rows) -> int:
+        """Append rows in place and return the bumped :attr:`version`.
+
+        ``rows`` may be another :class:`Table` with the same schema (column
+        order is irrelevant, names and dtypes must match), a mapping of
+        ``{column name: values}``, or a sequence of row dictionaries.  Values
+        are coerced under the existing schema, so column dtypes are always
+        preserved: categorical columns keep object storage (new labels simply
+        appear after the existing ones in first-appearance order), numeric
+        columns keep float64 storage with missing values as NaN.
+
+        Existing :class:`Column` objects are never mutated -- each column is
+        *replaced* by a freshly concatenated one -- so tables created earlier
+        via :meth:`select` (which share ``Column`` objects) keep their
+        pre-append data.  An empty append still bumps the version.
+        """
+        if not self._columns:
+            raise ValueError("Cannot append rows to a table with no columns")
+        incoming = self._coerce_appendable(rows)
+        missing = [n for n in self.column_names if n not in incoming._columns]
+        if missing:
+            raise ValueError(f"append_rows is missing columns: {missing}")
+        extra = [n for n in incoming.column_names if n not in self._columns]
+        if extra:
+            raise ValueError(f"append_rows got unknown columns: {extra}")
+        for name in self.column_names:
+            a, b = self.column(name), incoming.column(name)
+            if a.dtype != b.dtype:
+                raise ValueError(f"Column {name!r} dtype mismatch: {a.dtype} vs {b.dtype}")
+        replaced = {
+            name: Column(
+                name,
+                np.concatenate([self.column(name).values, incoming.column(name).values]),
+                dtype=self.column(name).dtype,
+            )
+            for name in self.column_names
+        }
+        self._columns = replaced
+        self._version += 1
+        return self._version
+
+    def _coerce_appendable(self, rows) -> "Table":
+        """Normalise :meth:`append_rows` input into a Table under this schema."""
+        if isinstance(rows, Table):
+            return rows
+        if isinstance(rows, Mapping):
+            return Table.from_dict(dict(rows), dtypes=self.schema())
+        rows = list(rows)
+        for row in rows:
+            if not isinstance(row, Mapping):
+                raise TypeError(
+                    "append_rows expects a Table, a mapping of columns, or a "
+                    f"sequence of row dictionaries; got a row of type {type(row).__name__}"
+                )
+        data = {name: [row.get(name) for row in rows] for name in self.column_names}
+        return Table.from_dict(data, dtypes=self.schema())
 
 
 def _normalise_key(value, column: Column):

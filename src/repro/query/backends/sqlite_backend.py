@@ -137,6 +137,71 @@ class SqliteBackend(ExecutionBackend):
                 self._conn.close()
             self._reset_state()
 
+    def refresh(self, old_rows: int) -> None:
+        """``INSERT`` the appended slice ``[old_rows:]`` into the database.
+
+        Rowids keep ascending, so ``ORDER BY MIN(rowid)`` group order stays
+        first-appearance over the extended table, and the categorical label
+        dictionaries are extended with the same first-appearance coding a
+        full re-materialisation would produce -- existing codes never
+        change, so equality predicates keep resolving to the same stored
+        codes.  Fork-safety: a connection inherited from another process is
+        dropped, never written to (the PID guard); with no materialisation
+        yet there is nothing to extend.
+        """
+        with self._run_lock:
+            if self._conn is None:
+                return
+            if self._conn_pid != os.getpid():
+                # Inherited from the parent: drop the reference without
+                # closing it and re-materialise lazily in this process.
+                self._reset_state()
+                return
+            table = self.table
+            if table.num_rows <= old_rows:
+                return
+            arrays: List[list] = []
+            for name in table.column_names:
+                column = table.column(name)
+                values = column.values[old_rows:]
+                if column.is_numeric_like:
+                    arrays.append([None if np.isnan(v) else float(v) for v in values])
+                else:
+                    arrays.append(self._extend_codes(name, values))
+            placeholders = ", ".join("?" for _ in arrays)
+            self._conn.executemany(
+                f"INSERT INTO t VALUES ({placeholders})", zip(*arrays)
+            )
+
+    def _extend_codes(self, name: str, values) -> List[Optional[int]]:
+        """First-appearance codes for appended categorical values, extending
+        the column's existing label dictionary in place (mirrors
+        :func:`_factorize`, including its unhashable-value fallback)."""
+        labels = self._labels[name]
+        lookup = self._lookups[name]
+        codes: List[Optional[int]] = []
+        for v in values:
+            if v is None:
+                codes.append(None)
+                continue
+            code: Optional[int] = None
+            try:
+                code = lookup.get(v)
+            except TypeError:
+                for c, label in enumerate(labels):
+                    if label == v:
+                        code = c
+                        break
+            if code is None:
+                code = len(labels)
+                labels.append(v)
+                try:
+                    lookup[v] = code
+                except TypeError:
+                    pass
+            codes.append(code)
+        return codes
+
     # ------------------------------------------------------------------
     # Materialisation
     # ------------------------------------------------------------------

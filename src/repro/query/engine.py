@@ -91,6 +91,7 @@ from repro.dataframe.groupby import (
 from repro.dataframe.predicates import Predicate
 from repro.dataframe.table import Table
 from repro.query.backends import ExecutionBackend, backend_names, make_backend
+from repro.query.delta import default_incremental, refresh_engine
 from repro.query.plan import QueryPlan, atoms_from_query
 from repro.query.query import PredicateAwareQuery
 from repro.query.sharding import (
@@ -179,6 +180,13 @@ class EngineConfig:
     #: (size-aware cross-cache eviction, see :class:`CacheBudget`); ``None``
     #: disables byte-based eviction.
     memory_budget_bytes: Optional[int] = None
+    #: Delta-aware refresh of cached state when the bound table's version
+    #: bumps (``Table.append_rows``): ``True`` upgrades masks / group
+    #: indexes / sort orders / additive results in place
+    #: (:mod:`repro.query.delta`), ``False`` flushes every cache on a bump.
+    #: ``None`` follows ``$REPRO_ENGINE_INCREMENTAL`` at use time (default
+    #: off).
+    incremental: Optional[bool] = None
 
     def __post_init__(self) -> None:
         # An explicitly-named backend is validated eagerly: a typo'd
@@ -218,6 +226,13 @@ class EngineConfig:
             return default_worker_count()
         return int(self.num_workers)
 
+    @property
+    def incremental_enabled(self) -> bool:
+        """The resolved incremental-refresh flag (explicit, else the env default)."""
+        if self.incremental is not None:
+            return bool(self.incremental)
+        return default_incremental()
+
     def validate(self) -> None:
         """Raise ``ValueError`` on an unknown backend / strategy, non-positive
         caches or a non-positive worker count (explicit or from the
@@ -250,6 +265,9 @@ class EngineConfig:
                 f"memory_budget_bytes must be >= 1 (or None for unbounded), "
                 f"got {self.memory_budget_bytes!r}"
             )
+        # A malformed $REPRO_ENGINE_INCREMENTAL raises here, like the other
+        # environment-resolved knobs.
+        self.incremental_enabled
 
     def cache_key(self) -> tuple:
         """Identity used to share engines per table (backend/workers resolved)."""
@@ -262,6 +280,7 @@ class EngineConfig:
             self.sort_cache_size,
             self.executor_name,
             self.memory_budget_bytes,
+            self.incremental_enabled,
         )
 
 
@@ -337,6 +356,26 @@ class EngineStats:
     #: eviction (:class:`CacheBudget`); per-cache entry-count evictions keep
     #: booking under ``mask_evictions``.
     budget_evictions: int = 0
+    #: Rows the delta-refresh layer (:mod:`repro.query.delta`) observed as
+    #: appended to the bound table.  This and the five fields below follow
+    #: the carry contract of ``REFRESH_FIELDS``.
+    appended_rows: int = 0
+    #: Cached predicate masks extended in place over an appended slice.
+    masks_extended: int = 0
+    #: Group indexes extended in place (appended rows factorized and
+    #: remapped into the existing code space, never reshuffled).
+    indexes_extended: int = 0
+    #: Cached lexsort orders upgraded by merging the appended rows' sorted
+    #: run into the existing order.
+    runs_merged: int = 0
+    #: Cached result tables continued additively (the COUNT / SUM bincount
+    #: accumulation family).
+    results_upgraded: int = 0
+    #: Cache entries dropped because an append made them stale and no exact
+    #: in-place upgrade exists (order-statistics results, MAD deviation
+    #: orders, ...); with ``incremental`` off, every entry flushed by a
+    #: version bump books here.
+    staleness_evictions: int = 0
     #: Gauge (not a counter): total bytes currently held across the mask /
     #: result / sort-order caches.  Carried as a current value -- never
     #: subtracted -- through :meth:`delta_since`; zeroed by
@@ -357,6 +396,23 @@ class EngineStats:
     #: through :meth:`delta_since` unsubtracted and zeroed when the caches
     #: they describe are cleared.
     GAUGE_FIELDS = ("bytes_cached", "cache_bytes")
+
+    #: Delta-refresh bookkeeping fields.  Like the byte gauges they describe
+    #: the engine's *current* table generation rather than one measurement
+    #: window, so :meth:`reset` carries them and :meth:`delta_since` passes
+    #: them through as current values (never subtracted): a scaling
+    #: experiment's per-variant ``reset()`` must not make appends that
+    #: happened before the variant look like (or hide) refresh activity of
+    #: the window under measurement.  They are not gauges -- they only ever
+    #: grow, via :meth:`bump`, and :meth:`set_gauges` rejects them.
+    REFRESH_FIELDS = (
+        "appended_rows",
+        "masks_extended",
+        "indexes_extended",
+        "runs_merged",
+        "results_upgraded",
+        "staleness_evictions",
+    )
 
     @property
     def mask_hit_rate(self) -> float:
@@ -447,14 +503,15 @@ class EngineStats:
 
     def reset(self) -> None:
         """Zero every counter and timer; identity fields (backend, workers,
-        executor) and the byte gauges survive -- gauges describe the caches'
-        *current* contents, which resetting counters does not change
-        (:meth:`QueryEngine.reset` clears the caches first, so its gauges
-        genuinely read zero afterwards)."""
+        executor), the byte gauges and the delta-refresh fields survive --
+        gauges describe the caches' *current* contents and the refresh
+        fields the table generation the engine is synced to, neither of
+        which resetting counters changes (:meth:`QueryEngine.reset` clears
+        the caches first, so its gauges genuinely read zero afterwards)."""
         with self._lock:
             carried = {
                 name: getattr(self, name)
-                for name in self.IDENTITY_FIELDS + self.GAUGE_FIELDS
+                for name in self.IDENTITY_FIELDS + self.GAUGE_FIELDS + self.REFRESH_FIELDS
             }
             for name, value in EngineStats().__dict__.items():
                 if name.startswith("_"):
@@ -470,8 +527,10 @@ class EngineStats:
         traffic of earlier runs; derived rates are recomputed from the deltas,
         identity fields (the backend name, the worker count, the executor)
         are carried through unchanged, and gauges (``bytes_cached``,
-        ``cache_bytes``) pass through as current values -- a byte gauge
-        difference is meaningless.  Tolerant of incomplete baselines: a key
+        ``cache_bytes``) and the delta-refresh fields (``REFRESH_FIELDS``)
+        pass through as current values -- a byte gauge difference is
+        meaningless, and refresh activity describes the table generation,
+        not the measurement window.  Tolerant of incomplete baselines: a key
         absent from *baseline* (a snapshot captured before a feature --
         sharding, the memory budget -- first engaged, or from an older
         engine) is treated as zero rather than raising, and a baseline
@@ -487,6 +546,7 @@ class EngineStats:
                 isinstance(value, str)
                 or name in self.IDENTITY_FIELDS
                 or name in self.GAUGE_FIELDS
+                or name in self.REFRESH_FIELDS
             ):
                 delta[name] = value
             elif isinstance(value, dict):
@@ -667,6 +727,39 @@ class _LRUCache:
         _key, (_value, nbytes) = self._data.popitem(last=False)
         self.bytes -= nbytes
 
+    def snapshot(self) -> List[Tuple[object, object]]:
+        """``(key, value)`` pairs in LRU-to-MRU order, without touching
+        recency (unlike ``get``).  The delta-refresh layer iterates this to
+        upgrade or evict entries deterministically."""
+        with self._lock:
+            return [(key, entry[0]) for key, entry in self._data.items()]
+
+    def replace(self, key, value) -> None:
+        """Upgrade an existing entry in place, preserving its recency slot.
+
+        A no-op when the key is absent (it may have been evicted between a
+        :meth:`snapshot` and the upgrade).  Byte accounting is adjusted and
+        an attached budget re-enforced, exactly like :meth:`put`.
+        """
+        with self._lock:
+            old = self._data.get(key, _MISS)
+            if old is _MISS:
+                return
+            cost = _value_nbytes(value)
+            self._data[key] = (value, cost)
+            self.bytes += cost - old[1]
+            if self._budget is not None:
+                self._budget.enforce()
+
+    def discard(self, key) -> bool:
+        """Drop one entry (no eviction counters); ``True`` when present."""
+        with self._lock:
+            entry = self._data.pop(key, _MISS)
+            if entry is _MISS:
+                return False
+            self.bytes -= entry[1]
+            return True
+
     def clear(self) -> None:
         with self._lock:
             self._data.clear()
@@ -707,6 +800,75 @@ class GroupIndex:
             data = array if group_ids is None else array[group_ids]
             columns.append(Column(name, data, dtype=dtype))
         return columns
+
+    def extend(self, table: Table, old_rows: int) -> bool:
+        """Extend the index in place with *table*'s rows ``[old_rows:]``.
+
+        The appended rows are factorized on their own and remapped into the
+        existing code space: groups already known keep their codes, brand-new
+        groups get fresh codes in first-appearance order -- exactly the ids a
+        full rebuild over the extended table would assign, because
+        first-appearance numbering is prefix-stable.  Codes are extended,
+        never reshuffled, so cached compact renumberings and sort orders
+        derived from the old codes stay valid prefixes.  Returns ``False``
+        when the delta's key labels are unhashable (the caller drops the
+        index and rebuilds lazily instead).
+        """
+        n_new = table.num_rows - old_rows
+        if n_new <= 0:
+            return True
+        delta = Table(
+            [
+                Column(
+                    name,
+                    table.column(name).values[old_rows:],
+                    dtype=table.column(name).dtype,
+                )
+                for name in self.keys
+            ]
+        )
+        d_codes, d_group_keys, d_group_rows = factorize_key_codes(delta, self.keys)
+        try:
+            key_to_code = {key: i for i, key in enumerate(self.group_keys)}
+            mapping = np.empty(len(d_group_keys), dtype=np.int64)
+            next_code = self.n_groups
+            new_keys: List[tuple] = []
+            for local, key in enumerate(d_group_keys):
+                code = key_to_code.get(key)
+                if code is None:
+                    code = next_code
+                    next_code += 1
+                    key_to_code[key] = code
+                    new_keys.append(key)
+                mapping[local] = code
+        except TypeError:
+            return False
+        group_rows = list(self.group_rows)
+        group_rows.extend([None] * (next_code - self.n_groups))  # type: ignore[list-item]
+        for local, rows in enumerate(d_group_rows):
+            code = int(mapping[local])
+            shifted = rows + old_rows
+            if code < self.n_groups:
+                group_rows[code] = np.concatenate([group_rows[code], shifted])
+            else:
+                group_rows[code] = shifted
+        self.codes = np.concatenate([self.codes, mapping[d_codes]])
+        self.group_rows = group_rows
+        self.group_keys = list(self.group_keys) + new_keys
+        self.n_groups = next_code
+        key_arrays: List[Tuple[str, DType, bool, np.ndarray]] = []
+        for position, (name, dtype, numeric, array) in enumerate(self._key_arrays):
+            labels = [key[position] for key in new_keys]
+            if numeric:
+                ext = np.asarray(
+                    [np.nan if v is None else v for v in labels], dtype=np.float64
+                )
+            else:
+                ext = np.empty(len(labels), dtype=object)
+                ext[:] = labels
+            key_arrays.append((name, dtype, numeric, np.concatenate([array, ext])))
+        self._key_arrays = key_arrays
+        return True
 
 
 def _resolve_config(
@@ -773,6 +935,12 @@ class QueryEngine:
         # would keep every table ever touched alive for the process lifetime.
         self._table_strong = None if weak_table else table
         self._table_ref = weakref.ref(table)
+        #: Delta-refresh bookkeeping: the table generation the caches cover
+        #: (see :meth:`sync_with_table` and :mod:`repro.query.delta`).
+        self.incremental = self.config.incremental_enabled
+        self._sync_lock = threading.RLock()
+        self._synced_version = table.version
+        self._synced_rows = table.num_rows
         self.stats = EngineStats(
             backend=self.backend_name,
             workers=self.num_workers,
@@ -847,6 +1015,31 @@ class QueryEngine:
                 "The table this QueryEngine was bound to has been garbage-collected"
             )
         return table
+
+    def sync_with_table(self) -> None:
+        """Bring cached state up to date with the bound table's version.
+
+        Cheap when nothing changed (one integer comparison).  After a
+        ``table.append_rows`` the refresh layer (:mod:`repro.query.delta`)
+        either upgrades cached state in place (``incremental=True``) or
+        flushes it (the default); either way, queries issued after an
+        append see exactly what a rebuilt-from-scratch engine would
+        produce.  Every execution entry point calls this, so explicit calls
+        are only needed before touching derived state directly
+        (``group_index``, ``plan_mask``, ...).  Appends must be quiesced
+        with respect to in-flight queries: the sync lock serialises
+        refreshes against each other, not against a batch that already
+        passed this check.
+        """
+        table = self.table
+        if table.version == self._synced_version:
+            return
+        with self._sync_lock:
+            if table.version == self._synced_version:
+                return
+            refresh_engine(self, table)
+            self._synced_version = table.version
+            self._synced_rows = table.num_rows
 
     # ------------------------------------------------------------------
     # Plan building
@@ -1044,6 +1237,7 @@ class QueryEngine:
                 "execute_plan expects a single-aggregate plan; "
                 "use execute_plans for a batch"
             )
+        self.sync_with_table()
         key = plan.result_key(0)
         if key is not None:
             cached = self._results.get(key, _MISS)
@@ -1071,6 +1265,7 @@ class QueryEngine:
         by input position, so the output is identical at any worker count.
         """
         plans = list(plans)
+        self.sync_with_table()
         results: List[Optional[Table]] = [None] * len(plans)
         fused: "OrderedDict[tuple, List[int]]" = OrderedDict()
         for i, plan in enumerate(plans):
@@ -1192,6 +1387,13 @@ class QueryEngine:
         self._agg_arrays.clear()
         self.backend.clear()
         self.sharder.clear()
+        # A cache-less engine is trivially in sync: everything rebuilds from
+        # the table's current generation on the next query.
+        table = self._table_strong if self._table_strong is not None else self._table_ref()
+        if table is not None:
+            with self._sync_lock:
+                self._synced_version = table.version
+                self._synced_rows = table.num_rows
         self._refresh_byte_gauges()
 
     def close(self) -> None:
@@ -1276,6 +1478,10 @@ def engine_for(
         if engine is None:
             engine = QueryEngine(table, weak_table=True, config=config)
             per_table[key] = engine
+    # A version bump must never serve state keyed to the old generation:
+    # refresh outside the registry lock (refreshes of different tables'
+    # engines need not serialise on it).
+    engine.sync_with_table()
     return engine
 
 

@@ -435,6 +435,28 @@ class ProcessShardScheduler(ShardScheduler):
         """Derived-state drop (``clear_caches``): same as :meth:`release`."""
         self.release(wait=True)
 
+    def refresh(self, old_rows: int) -> None:
+        """Re-publish the shared-memory image after a table append.
+
+        Shared segments are fixed-size, so the appended rows cannot be
+        written into the live store; instead the pool and store are released
+        (old segments unlinked deterministically -- the PR 7 leak contract)
+        and both are re-created lazily from the extended table on the next
+        dispatch.  Worker processes restart with cold private engines, which
+        is exactly the rebuild-from-scratch semantics the bit-identity bar
+        requires of them.
+        """
+        if self.table_changed(old_rows):
+            self.release(wait=True)
+
+    def table_changed(self, old_rows: int) -> bool:
+        """Whether the live store (if any) predates the append."""
+        with self._lock:
+            store = self._store
+        if store is None:
+            return False
+        return store.handle.num_rows != self.engine.table.num_rows
+
     def close(self) -> None:
         self.release(wait=True)
 

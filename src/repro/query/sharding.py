@@ -375,6 +375,21 @@ class ShardScheduler:
         if pool is not None:
             pool.shutdown(wait=True)
 
+    def refresh(self, old_rows: int) -> None:
+        """Propagate a table append to every live worker backend.
+
+        Each per-slot backend instance owns its own materialisation of the
+        (now extended) shared table, so each one gets the same
+        :meth:`ExecutionBackend.refresh` call the engine's primary backend
+        receives -- sqlite workers ``INSERT`` the appended slice, in-process
+        workers drop nothing (they read the table lazily).  The pool itself
+        is untouched: threads hold no table state.
+        """
+        with self._lock:
+            workers = list(self._worker_backends.values())
+        for backend in workers:
+            backend.refresh(old_rows)
+
     def close(self) -> None:
         """Release every scheduler-owned OS resource (pool, worker backends).
 

@@ -348,3 +348,42 @@ class TestCloseAndRegistry:
         gc.collect()
         assert engine._closed
         assert engine.backend._conn is None
+
+    def test_registry_never_serves_state_keyed_to_an_old_table_version(self):
+        """PR 8 satellite: after ``append_rows`` bumps ``table.version``, the
+        registry hands back the same engine object but synced -- a lookup
+        must never return an engine whose caches still cover the old rows."""
+        table = make_relevant(6)
+        config = EngineConfig(backend="numpy", executor="thread")
+        engine = engine_for(table, config=config)
+        stale = engine.execute(query_with("a", "COUNT"))
+        assert engine._synced_version == 0
+        table.append_rows(
+            {"key": [0.0, 1.0], "cat": ["a", "a"], "val": [1.0, 2.0]}
+        )
+        again = engine_for(table, config=config)
+        assert again is engine
+        assert again._synced_version == table.version
+        assert again._synced_rows == table.num_rows
+        fresh = again.execute(query_with("a", "COUNT"))
+        rebuilt = QueryEngine(table, config=config).execute(
+            query_with("a", "COUNT")
+        )
+        assert fresh.column("feature") == rebuilt.column("feature")
+        assert fresh.column("feature") != stale.column("feature")
+
+    def test_registry_finalizer_still_fires_after_appends(self):
+        """The version-sync path must not resurrect a strong table ref that
+        would defeat the weakref finalizer."""
+        table = make_relevant(7)
+        engine = engine_for(
+            table, config=EngineConfig(backend="sqlite", executor="thread")
+        )
+        engine.execute(query_with("a"))
+        table.append_rows({"key": [2.0], "cat": ["b"], "val": [0.5]})
+        engine_for(table, config=EngineConfig(backend="sqlite", executor="thread"))
+        engine.execute(query_with("a"))
+        del table
+        gc.collect()
+        assert engine._closed
+        assert engine.backend._conn is None

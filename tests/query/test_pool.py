@@ -132,3 +132,83 @@ class TestDecodeEncode:
     def test_relation_name_propagated(self, pool):
         query = pool.sample_random(seed=1, n=1)[0]
         assert "User_Logs" in query.to_sql()
+
+
+class TestRefresh:
+    """PR 8 satellite: ``QueryPool.refresh`` extends the domains over
+    appended rows, deterministically equal to constructing a fresh pool
+    over the extended table."""
+
+    def append(self, logs_table, **overrides):
+        row = {
+            "cname": "erin",
+            "pname": "soap",
+            "pprice": 10.0,
+            "department": "household",
+            "timestamp": "2023-07-10",
+        }
+        row.update(overrides)
+        logs_table.append_rows([row])
+
+    def test_noop_when_no_rows_appended(self, pool, logs_table):
+        space = pool.space
+        assert pool.refresh(logs_table) is False
+        assert pool.space is space
+
+    def test_append_without_domain_change_keeps_space(self, pool, logs_table):
+        space = pool.space
+        self.append(logs_table)  # known department, in-range timestamp
+        assert pool.refresh(logs_table) is False
+        assert pool.space is space
+
+    def test_new_categorical_value_extends_domain(self, pool, logs_table):
+        self.append(logs_table, department="garden")
+        assert pool.refresh(logs_table) is True
+        choices = pool.space["pred::department"].choices
+        assert choices[-1] == "garden"  # appended after the old values
+        assert choices[:-1] == [None, "electronics", "household", "media"]
+
+    def test_new_numeric_bounds_extend_domain(self, pool, logs_table):
+        old_low = pool.space["pred_low::timestamp"].low
+        self.append(logs_table, timestamp="2024-01-01")
+        assert pool.refresh(logs_table) is True
+        dim = pool.space["pred_low::timestamp"]
+        assert dim.low == old_low
+        assert dim.high == logs_table.column("timestamp").max()
+
+    def test_refresh_equals_fresh_pool(self, template, logs_table):
+        pool = QueryPool(template, logs_table, relation_name="User_Logs")
+        self.append(logs_table, department="garden", timestamp="2024-02-02")
+        self.append(logs_table, department="household", timestamp="2021-01-01")
+        pool.refresh(logs_table)
+        fresh = QueryPool(template, logs_table, relation_name="User_Logs")
+        for attr in template.predicate_attrs:
+            assert pool.domain_of(attr) == fresh.domain_of(attr)
+        assert pool.space.names == fresh.space.names
+
+    def test_refresh_respects_categorical_cap(self, logs_table):
+        from repro.query.pool import MAX_CATEGORICAL_VALUES
+
+        wide = QueryTemplate(["SUM"], ["pprice"], ["pname"], ["cname"])
+        pool = QueryPool(wide, logs_table)
+        for i in range(2 * MAX_CATEGORICAL_VALUES):
+            # each new product appears twice so frequency ordering is stable
+            self.append(logs_table, pname=f"p{i}")
+            self.append(logs_table, pname=f"p{i}")
+        pool.refresh(logs_table)
+        fresh = QueryPool(wide, logs_table)
+        assert len(pool.domain_of("pname")) == MAX_CATEGORICAL_VALUES
+        assert pool.domain_of("pname") == fresh.domain_of("pname")
+
+    def test_incremental_refreshes_equal_one_shot_refresh(self, template, logs_table):
+        stepwise = QueryPool(template, logs_table, relation_name="User_Logs")
+        for dept, ts in [("garden", "2024-03-01"), ("toys", "2020-06-15")]:
+            self.append(logs_table, department=dept, timestamp=ts)
+            stepwise.refresh(logs_table)
+        fresh = QueryPool(template, logs_table, relation_name="User_Logs")
+        for attr in template.predicate_attrs:
+            assert stepwise.domain_of(attr) == fresh.domain_of(attr)
+
+    def test_shrunk_table_rejected(self, pool, logs_table):
+        with pytest.raises(ValueError, match="append-only"):
+            pool.refresh(logs_table.select(logs_table.column_names).head(3))
