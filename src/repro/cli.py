@@ -91,6 +91,40 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
         help="global size-aware budget shared by the engine's mask / result "
         "/ sort-order caches (default: unbounded)",
     )
+    parser.add_argument(
+        "--service-window-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="QueryService micro-batch coalescing window: how long the "
+        "dispatcher waits for concurrent requests to fuse into one round "
+        "(default: $REPRO_SERVICE_WINDOW_MS or 2)",
+    )
+    parser.add_argument(
+        "--service-max-batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="QueryService bound on queries executed per fused round "
+        "(default: $REPRO_SERVICE_MAX_BATCH or 64)",
+    )
+    parser.add_argument(
+        "--service-queue-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="QueryService admission-queue bound in queries; submissions "
+        "that would overflow it are rejected with backpressure "
+        "(default: $REPRO_SERVICE_QUEUE_DEPTH or 1024)",
+    )
+    parser.add_argument(
+        "--service-timeout-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="QueryService default per-request deadline on queue wait "
+        "(default: $REPRO_SERVICE_TIMEOUT_MS or no deadline)",
+    )
     parser.add_argument("--seed", type=int, default=0, help="random seed")
 
 
@@ -108,6 +142,10 @@ def _config_from_args(args: argparse.Namespace) -> FeatAugConfig:
         engine_executor=args.engine_executor,
         engine_memory_budget=args.memory_budget,
         engine_incremental=args.engine_incremental,
+        service_window_ms=args.service_window_ms,
+        service_max_batch=args.service_max_batch,
+        service_queue_depth=args.service_queue_depth,
+        service_timeout_ms=args.service_timeout_ms,
         seed=args.seed,
     )
 

@@ -103,6 +103,16 @@ class FeatAugConfig:
     #: ``None`` uses the process default (``$REPRO_ENGINE_INCREMENTAL`` or
     #: off, which flushes on append -- always correct, never stale).
     engine_incremental: bool | None = None
+    #: admission-control knobs of :class:`repro.query.QueryService` when the
+    #: run serves concurrent callers: micro-batch coalescing window (ms),
+    #: per-round query bound, admission-queue bound and default per-request
+    #: deadline (ms).  ``None`` uses the process defaults
+    #: (``$REPRO_SERVICE_WINDOW_MS`` / ``$REPRO_SERVICE_MAX_BATCH`` /
+    #: ``$REPRO_SERVICE_QUEUE_DEPTH`` / ``$REPRO_SERVICE_TIMEOUT_MS``).
+    service_window_ms: float | None = None
+    service_max_batch: int | None = None
+    service_queue_depth: int | None = None
+    service_timeout_ms: float | None = None
 
     # ------------------------------------------------------------------
     # Proxy and evaluation
@@ -141,6 +151,9 @@ class FeatAugConfig:
         # here -- where the run is configured -- rather than at the first
         # query's engine lookup deep inside the search.
         self.engine_config().validate()
+        # Same eager-failure rationale for the service knobs: resolution
+        # reads $REPRO_SERVICE_*, so garbage values surface here.
+        self.service_config().validate()
 
     def engine_config(self):
         """The :class:`repro.query.engine.EngineConfig` the run's shared
@@ -163,6 +176,19 @@ class FeatAugConfig:
         kwargs["memory_budget_bytes"] = self.engine_memory_budget
         kwargs["incremental"] = self.engine_incremental
         return EngineConfig(**kwargs)
+
+    def service_config(self):
+        """The :class:`repro.query.service.ServiceConfig` a
+        :class:`~repro.query.service.QueryService` over the run's engine is
+        built with (admission queue, coalescing window, deadlines)."""
+        from repro.query.service import ServiceConfig
+
+        return ServiceConfig(
+            coalesce_window_ms=self.service_window_ms,
+            max_batch=self.service_max_batch,
+            max_queue=self.service_queue_depth,
+            request_timeout_ms=self.service_timeout_ms,
+        )
 
     def with_overrides(self, **kwargs) -> "FeatAugConfig":
         """Copy of this config with specific fields replaced."""

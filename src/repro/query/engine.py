@@ -376,6 +376,25 @@ class EngineStats:
     #: orders, ...); with ``incremental`` off, every entry flushed by a
     #: version bump books here.
     staleness_evictions: int = 0
+    #: Queries admitted into a :class:`repro.query.service.QueryService`
+    #: queue wrapping this engine.  This and the five counters below are
+    #: ordinary lifetime counters: zeroed by :meth:`reset`, subtracted by
+    #: :meth:`delta_since`.
+    service_admitted: int = 0
+    #: Queries rejected at admission because the service queue was full
+    #: (deterministic backpressure, never a silent drop).
+    service_rejected: int = 0
+    #: Queries whose deadline expired while they waited in the service
+    #: queue (their futures resolve with ``DeadlineExpiredError``).
+    service_timeouts: int = 0
+    #: Fused micro-batch rounds the service dispatched to the engine.
+    service_rounds: int = 0
+    #: Queries executed in a round shared by two or more requests -- the
+    #: cross-request fusion the admission layer exists for.
+    service_coalesced: int = 0
+    #: Queries served by fan-out of another request's identical plan in the
+    #: same round (one execution, shared result table).
+    service_deduped: int = 0
     #: Gauge (not a counter): total bytes currently held across the mask /
     #: result / sort-order caches.  Carried as a current value -- never
     #: subtracted -- through :meth:`delta_since`; zeroed by
@@ -384,6 +403,13 @@ class EngineStats:
     #: Gauge: current bytes per cache (``{"masks": ..., "results": ...,
     #: "sort_orders": ...}``).
     cache_bytes: Dict[str, float] = field(default_factory=dict)
+    #: Gauge: queries currently waiting in the service queue (0 when no
+    #: service wraps the engine).
+    service_queue_depth: int = 0
+    #: Gauge: occupancy of the service's most recent micro-batch round
+    #: (queries executed / ``max_batch``; can exceed 1.0 when one oversized
+    #: request rode alone).
+    service_batch_occupancy: float = 0.0
     #: Serialises every mutation (excluded from :meth:`as_dict` / :meth:`reset`).
     _lock: threading.RLock = field(
         default_factory=threading.RLock, repr=False, compare=False
@@ -394,8 +420,13 @@ class EngineStats:
 
     #: Gauge fields: current values, not lifetime counters -- carried
     #: through :meth:`delta_since` unsubtracted and zeroed when the caches
-    #: they describe are cleared.
-    GAUGE_FIELDS = ("bytes_cached", "cache_bytes")
+    #: (or service queues) they describe are cleared / drained.
+    GAUGE_FIELDS = (
+        "bytes_cached",
+        "cache_bytes",
+        "service_queue_depth",
+        "service_batch_occupancy",
+    )
 
     #: Delta-refresh bookkeeping fields.  Like the byte gauges they describe
     #: the engine's *current* table generation rather than one measurement
@@ -1237,6 +1268,7 @@ class QueryEngine:
                 "execute_plan expects a single-aggregate plan; "
                 "use execute_plans for a batch"
             )
+        self._closed = False  # any execution transparently re-opens (see close())
         self.sync_with_table()
         key = plan.result_key(0)
         if key is not None:
@@ -1263,8 +1295,16 @@ class QueryEngine:
         pending fused plans run in parallel on the engine's worker pool (see
         :class:`~repro.query.sharding.ShardScheduler`); results are assembled
         by input position, so the output is identical at any worker count.
+
+        An empty batch returns ``[]`` immediately: no backend touch, no
+        table sync, and no counter traffic (``batches`` counts rounds that
+        actually carried queries) -- on every backend / executor
+        combination.
         """
         plans = list(plans)
+        if not plans:
+            return []
+        self._closed = False  # any execution transparently re-opens (see close())
         self.sync_with_table()
         results: List[Optional[Table]] = [None] * len(plans)
         fused: "OrderedDict[tuple, List[int]]" = OrderedDict()
@@ -1304,6 +1344,39 @@ class QueryEngine:
                     results[i] = table
         self.stats.bump(batches=1)
         return results  # type: ignore[return-value]
+
+    def execute_plans_deduped(
+        self, plans: Sequence[QueryPlan]
+    ) -> Tuple[List[Table], int]:
+        """:meth:`execute_plans` with one execution per distinct plan signature.
+
+        The dedup seam of the admission layer
+        (:class:`repro.query.service.QueryService`): identical plans --
+        same :meth:`QueryPlan.signature` -- submitted by different
+        concurrent requests execute **once** and every duplicate position
+        receives the shared (immutable) result table by fan-out.  Plans
+        with an unhashable WHERE clause (``signature() is None``) are never
+        deduped; they execute independently, exactly as before.  Returns
+        ``(tables in input order, number of duplicate positions served by
+        fan-out)``.  The result-cache layer cannot subsume this: within one
+        ``execute_plans`` call duplicate plans both miss the cache and fuse
+        into a plan that computes the aggregate twice.
+        """
+        plans = list(plans)
+        unique: List[QueryPlan] = []
+        slots: List[int] = []
+        seen: Dict[tuple, int] = {}
+        for plan in plans:
+            signature = plan.signature()
+            slot = seen.get(signature) if signature is not None else None
+            if slot is None:
+                slot = len(unique)
+                unique.append(plan)
+                if signature is not None:
+                    seen[signature] = slot
+            slots.append(slot)
+        tables = self.execute_plans(unique)
+        return [tables[slot] for slot in slots], len(plans) - len(unique)
 
     def _run_fused(self, plans: List[QueryPlan], batched: bool) -> List[List[Table]]:
         """Run fused plans on the backend(s); book stats and the result cache.
@@ -1396,6 +1469,17 @@ class QueryEngine:
                 self._synced_rows = table.num_rows
         self._refresh_byte_gauges()
 
+    @property
+    def closed(self) -> bool:
+        """``True`` between :meth:`close` and the next execution.
+
+        A closed engine holds no backend / OS resources; the first
+        ``execute`` / ``execute_batch`` / ``execute_plans`` call after a
+        close transparently re-opens it (the documented lazy re-creation
+        path, pinned by ``tests/query/test_engine_lifecycle.py``).
+        """
+        return self._closed
+
     def close(self) -> None:
         """Release every backend / OS resource the engine owns.
 
@@ -1404,7 +1488,12 @@ class QueryEngine:
         executor that terminates the worker pool and unlinks the
         shared-memory segments.  Idempotent, callable from ``engine_for``'s
         table finalizer (it never touches ``self.table``), and the engine
-        remains usable afterwards (resources are re-created lazily).
+        remains usable afterwards: the next execution transparently
+        re-opens it, re-creating backend materialisations, worker pools
+        and (for the process executor) re-publishing the shared-memory
+        image lazily.  Statistics counters survive a close/re-open cycle
+        unchanged -- they are lifetime counters, exactly as across
+        :meth:`clear_caches`.
         """
         self.clear_caches()
         self.sharder.close()
@@ -1467,17 +1556,30 @@ def engine_for(
     ``DeprecationWarning``.
     """
     config = _resolve_config(config, kernels, None, None)
+    key = config.cache_key()
     with _REGISTRY_LOCK:
         per_table = _ENGINE_REGISTRY.get(table)
         if per_table is None:
             per_table = {}
             _ENGINE_REGISTRY[table] = per_table
             weakref.finalize(table, _close_registry_engines, per_table)
-        key = config.cache_key()
         engine = per_table.get(key)
-        if engine is None:
-            engine = QueryEngine(table, weak_table=True, config=config)
-            per_table[key] = engine
+    if engine is None:
+        # Construct outside the registry lock: engine construction can be
+        # expensive (backend bind, scheduler setup) and must not serialise
+        # unrelated tables' lookups behind one global lock.  The slot is
+        # double-checked under the lock before insertion, so concurrent
+        # first access yields exactly one registered engine; every loser
+        # closes its candidate immediately so no backend resource (sqlite
+        # connection, process pool, shm segment) can leak from the race.
+        candidate = QueryEngine(table, weak_table=True, config=config)
+        with _REGISTRY_LOCK:
+            engine = per_table.get(key)
+            if engine is None:
+                engine = candidate
+                per_table[key] = engine
+        if engine is not candidate:
+            candidate.close()
     # A version bump must never serve state keyed to the old generation:
     # refresh outside the registry lock (refreshes of different tables'
     # engines need not serialise on it).

@@ -1,0 +1,699 @@
+"""The admission-controlled query service (:mod:`repro.query.service`).
+
+Covers the full service contract:
+
+* **Config resolution** -- ``ServiceConfig(None)`` fields fall back to the
+  ``$REPRO_SERVICE_*`` environment (empty = default, garbage fails eagerly
+  at ``validate``), mirroring the ``$REPRO_ENGINE_*`` conventions, and
+  ``FeatAugConfig`` / the CLI thread the knobs through.
+* **Admission** -- bounded queue with deterministic
+  ``ServiceOverloadedError`` backpressure (nothing enqueued on reject),
+  ``ServiceClosedError`` after close, empty submissions resolving
+  immediately.
+* **Coalescing + dedup** -- concurrent requests fuse into one engine round
+  and identical plans execute once, proven by the ``service_*`` counters,
+  with results **bit-identical** to serial per-caller execution.
+* **Failure paths** -- deadline expiry mid-queue, engine errors fanned out
+  to every waiting future (never a hang), cancelled futures skipped,
+  draining and non-draining ``close()`` with requests in flight.
+* **Acceptance hammer** -- N threads through one service across both shard
+  strategies x both executors x every backend, bit-identical to serial
+  (1e-9 for sqlite) with counters proving cross-request fusion fired.
+
+Manual mode (``auto_start=False`` + ``run_pending_round``) makes the
+round-formation tests deterministic: requests queue until the test says
+"dispatch", so window timing never decides what lands in a round.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import FeatAugConfig
+from repro.dataframe.column import Column, DType
+from repro.dataframe.table import Table
+from repro.query.backends import backend_names
+from repro.query.engine import EngineConfig, QueryEngine
+from repro.query.query import PredicateAwareQuery
+from repro.query.service import (
+    MAX_BATCH_ENV_VAR,
+    QUEUE_ENV_VAR,
+    TIMEOUT_ENV_VAR,
+    WINDOW_ENV_VAR,
+    DeadlineExpiredError,
+    QueryService,
+    ServiceClosedError,
+    ServiceConfig,
+    ServiceError,
+    ServiceOverloadedError,
+    default_max_batch,
+    default_queue_depth,
+    default_timeout_ms,
+    default_window_ms,
+)
+from repro.query.sharding import EXECUTORS, SHARD_STRATEGIES
+
+BACKENDS = tuple(backend_names())
+EXACT_BACKENDS = ("numpy", "python")
+
+
+def make_relevant(seed: int, n: int = 80) -> Table:
+    rng = np.random.default_rng(seed)
+    return Table(
+        [
+            Column("key", rng.integers(0, 7, size=n).astype(np.float64), dtype=DType.NUMERIC),
+            Column(
+                "cat",
+                [str(v) for v in rng.choice(list("abcd"), size=n)],
+                dtype=DType.CATEGORICAL,
+            ),
+            Column("val", rng.normal(size=n), dtype=DType.NUMERIC),
+        ]
+    )
+
+
+def make_batch():
+    """Eight queries over three fused plans (shared atoms across plans)."""
+    queries = []
+    for value in "ab":
+        for func in ("SUM", "AVG", "MEDIAN"):
+            queries.append(
+                PredicateAwareQuery(
+                    func, "val", ("key",), {"cat": value}, {"cat": DType.CATEGORICAL}
+                )
+            )
+    queries.append(PredicateAwareQuery("COUNT", "val", ("key",)))
+    queries.append(PredicateAwareQuery("MODE", "val", ("key",)))
+    return queries
+
+
+def assert_batch_equal(actual, expected, exact: bool):
+    assert len(actual) == len(expected)
+    for got, want in zip(actual, expected):
+        assert got.column_names == want.column_names
+        for name in want.column_names:
+            left, right = got.column(name), want.column(name)
+            if exact or not left.is_numeric_like:
+                assert left == right
+            else:
+                assert np.allclose(
+                    left.values, right.values, rtol=0.0, atol=1e-9, equal_nan=True
+                )
+
+
+def make_engine(seed=0, **config_kwargs) -> QueryEngine:
+    config_kwargs.setdefault("backend", "numpy")
+    config_kwargs.setdefault("num_workers", 1)
+    return QueryEngine(make_relevant(seed), config=EngineConfig(**config_kwargs))
+
+
+def manual_service(engine, **config_kwargs) -> QueryService:
+    return QueryService(engine, ServiceConfig(**config_kwargs), auto_start=False)
+
+
+def service_delta(stats, baseline):
+    return {
+        k: v for k, v in stats.delta_since(baseline).items() if k.startswith("service")
+    }
+
+
+# ----------------------------------------------------------------------
+# Config resolution
+# ----------------------------------------------------------------------
+class TestServiceConfig:
+    def test_defaults(self, monkeypatch):
+        for var in (WINDOW_ENV_VAR, MAX_BATCH_ENV_VAR, QUEUE_ENV_VAR, TIMEOUT_ENV_VAR):
+            monkeypatch.delenv(var, raising=False)
+        config = ServiceConfig()
+        config.validate()
+        assert config.window_ms == 2.0 == default_window_ms()
+        assert config.batch_limit == 64 == default_max_batch()
+        assert config.queue_limit == 1024 == default_queue_depth()
+        assert config.timeout_ms is None and default_timeout_ms() is None
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv(WINDOW_ENV_VAR, "7.5")
+        monkeypatch.setenv(MAX_BATCH_ENV_VAR, "16")
+        monkeypatch.setenv(QUEUE_ENV_VAR, "32")
+        monkeypatch.setenv(TIMEOUT_ENV_VAR, "250")
+        config = ServiceConfig()
+        config.validate()
+        assert config.window_ms == 7.5
+        assert config.batch_limit == 16
+        assert config.queue_limit == 32
+        assert config.timeout_ms == 250.0
+
+    def test_explicit_values_beat_environment(self, monkeypatch):
+        monkeypatch.setenv(WINDOW_ENV_VAR, "7.5")
+        monkeypatch.setenv(MAX_BATCH_ENV_VAR, "16")
+        config = ServiceConfig(coalesce_window_ms=0, max_batch=4)
+        assert config.window_ms == 0.0
+        assert config.batch_limit == 4
+
+    def test_blank_environment_means_default(self, monkeypatch):
+        monkeypatch.setenv(WINDOW_ENV_VAR, "   ")
+        monkeypatch.setenv(TIMEOUT_ENV_VAR, "")
+        assert default_window_ms() == 2.0
+        assert default_timeout_ms() is None
+
+    @pytest.mark.parametrize(
+        "var, value",
+        [
+            (WINDOW_ENV_VAR, "soon"),
+            (WINDOW_ENV_VAR, "-1"),
+            (MAX_BATCH_ENV_VAR, "many"),
+            (MAX_BATCH_ENV_VAR, "0"),
+            (QUEUE_ENV_VAR, "-3"),
+            (TIMEOUT_ENV_VAR, "0"),
+            (TIMEOUT_ENV_VAR, "fast"),
+        ],
+    )
+    def test_garbage_environment_raises_naming_the_variable(
+        self, monkeypatch, var, value
+    ):
+        monkeypatch.setenv(var, value)
+        with pytest.raises(ValueError, match=var):
+            ServiceConfig().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"coalesce_window_ms": -1.0},
+            {"max_batch": 0},
+            {"max_queue": 0},
+            {"request_timeout_ms": 0.0},
+            {"request_timeout_ms": -5.0},
+        ],
+    )
+    def test_explicit_garbage_raises(self, kwargs):
+        with pytest.raises(ValueError):
+            ServiceConfig(**kwargs).validate()
+
+    def test_feataug_config_threads_the_knobs(self):
+        config = FeatAugConfig(
+            service_window_ms=3.0,
+            service_max_batch=8,
+            service_queue_depth=40,
+            service_timeout_ms=100.0,
+        )
+        config.validate()
+        service_config = config.service_config()
+        assert service_config.window_ms == 3.0
+        assert service_config.batch_limit == 8
+        assert service_config.queue_limit == 40
+        assert service_config.timeout_ms == 100.0
+
+    def test_feataug_validate_rejects_garbage_service_knobs(self):
+        with pytest.raises(ValueError):
+            FeatAugConfig(service_max_batch=0).validate()
+        with pytest.raises(ValueError, match=MAX_BATCH_ENV_VAR):
+            # Env garbage fails at config validation, not at first request.
+            import os
+
+            os.environ[MAX_BATCH_ENV_VAR] = "banana"
+            try:
+                FeatAugConfig().validate()
+            finally:
+                del os.environ[MAX_BATCH_ENV_VAR]
+
+    def test_cli_flags_reach_the_config(self):
+        from repro.cli import build_parser, _config_from_args
+
+        args = build_parser().parse_args(
+            [
+                "run", "--dataset", "student",
+                "--service-window-ms", "4.5",
+                "--service-max-batch", "32",
+                "--service-queue-depth", "64",
+                "--service-timeout-ms", "200",
+            ]
+        )
+        config = _config_from_args(args)
+        assert config.service_window_ms == 4.5
+        assert config.service_max_batch == 32
+        assert config.service_queue_depth == 64
+        assert config.service_timeout_ms == 200.0
+        assert config.service_config().batch_limit == 32
+
+    def test_service_validates_config_at_construction(self):
+        engine = make_engine()
+        with pytest.raises(ValueError):
+            QueryService(engine, ServiceConfig(max_batch=0), auto_start=False)
+
+
+# ----------------------------------------------------------------------
+# Admission: bounded queue, backpressure, closed service
+# ----------------------------------------------------------------------
+class TestAdmission:
+    def test_empty_submission_resolves_immediately(self):
+        engine = make_engine()
+        service = manual_service(engine)
+        future = service.submit([])
+        assert future.done() and future.result() == []
+        assert engine.stats.service_admitted == 0
+        service.close()
+
+    def test_queue_full_rejects_deterministically(self):
+        engine = make_engine()
+        service = manual_service(engine, max_queue=10, max_batch=64)
+        queries = make_batch()  # 8 queries
+        baseline = engine.stats.as_dict()
+        admitted = service.submit(queries)
+        with pytest.raises(ServiceOverloadedError):
+            service.submit(queries)  # 8 + 8 > 10
+        delta = service_delta(engine.stats, baseline)
+        assert delta["service_admitted"] == 8
+        assert delta["service_rejected"] == 8
+        assert service.queue_depth == 8  # nothing from the reject enqueued
+        # A smaller submission still fits: rejection is per-submission
+        # backpressure, not a latch.
+        fits = service.submit(queries[:2])
+        service.run_pending_round()
+        assert len(admitted.result(timeout=5)) == 8
+        assert len(fits.result(timeout=5)) == 2
+        service.close()
+
+    def test_overload_error_is_a_service_error(self):
+        assert issubclass(ServiceOverloadedError, ServiceError)
+        assert issubclass(ServiceClosedError, ServiceError)
+        assert issubclass(DeadlineExpiredError, ServiceError)
+
+    def test_submit_after_close_raises(self):
+        engine = make_engine()
+        service = manual_service(engine)
+        service.close()
+        assert service.closed
+        with pytest.raises(ServiceClosedError):
+            service.submit(make_batch())
+
+    def test_nonpositive_timeout_rejected_at_submit(self):
+        engine = make_engine()
+        service = manual_service(engine)
+        with pytest.raises(ValueError):
+            service.submit(make_batch(), timeout_ms=0)
+        service.close()
+
+    def test_queue_depth_gauge_tracks_admission_and_dispatch(self):
+        engine = make_engine()
+        service = manual_service(engine, max_batch=64)
+        assert engine.stats.service_queue_depth == 0
+        service.submit(make_batch())
+        assert engine.stats.service_queue_depth == 8 == service.queue_depth
+        service.run_pending_round()
+        assert engine.stats.service_queue_depth == 0 == service.queue_depth
+        service.close()
+
+
+# ----------------------------------------------------------------------
+# Coalescing, dedup and round formation (deterministic manual mode)
+# ----------------------------------------------------------------------
+class TestCoalescing:
+    def test_two_requests_fuse_into_one_round_with_dedup(self):
+        engine = make_engine()
+        queries = make_batch()
+        serial = engine.execute_batch(queries)
+        service = manual_service(engine, max_batch=64)
+        baseline = engine.stats.as_dict()
+        first = service.submit(queries)
+        second = service.submit(queries)
+        assert service.run_pending_round() == 2
+        assert_batch_equal(first.result(timeout=5), serial, exact=True)
+        assert_batch_equal(second.result(timeout=5), serial, exact=True)
+        delta = service_delta(engine.stats, baseline)
+        assert delta["service_rounds"] == 1
+        assert delta["service_admitted"] == 16
+        # Every query of the shared round counts as coalesced...
+        assert delta["service_coalesced"] == 16
+        # ...and the second request's 8 identical plans were served by
+        # fan-out of the first's executions.
+        assert delta["service_deduped"] == 8
+        assert delta["service_batch_occupancy"] == pytest.approx(16 / 64)
+        service.close()
+
+    def test_single_request_round_is_not_coalesced(self):
+        engine = make_engine()
+        service = manual_service(engine, max_batch=64)
+        baseline = engine.stats.as_dict()
+        future = service.submit(make_batch())
+        service.run_pending_round()
+        future.result(timeout=5)
+        delta = service_delta(engine.stats, baseline)
+        assert delta["service_rounds"] == 1
+        assert delta["service_coalesced"] == 0
+
+    def test_dedup_executes_each_distinct_plan_once(self):
+        """The engine-side proof: result misses count distinct plans only."""
+        engine = make_engine()
+        queries = make_batch()
+        service = manual_service(engine, max_batch=64)
+        baseline = engine.stats.as_dict()
+        futures = [service.submit(queries) for _ in range(3)]
+        service.run_pending_round()
+        for future in futures:
+            future.result(timeout=5)
+        delta = engine.stats.delta_since(baseline)
+        # 24 admitted queries, but the engine executed (and missed the
+        # result cache for) only the 8 distinct ones.
+        assert delta["service_deduped"] == 16
+        assert delta["result_misses"] == 8
+        assert delta["queries"] == 8
+        service.close()
+
+    def test_rounds_respect_max_batch_and_never_split_requests(self):
+        engine = make_engine()
+        service = manual_service(engine, max_batch=10)
+        first = service.submit(make_batch())  # 8 queries
+        second = service.submit(make_batch()[:4])  # would overflow the round
+        third = service.submit(make_batch()[:2])
+        assert service.run_pending_round() == 1  # 8; +4 would exceed 10
+        assert first.done() and not second.done()
+        assert service.run_pending_round() == 2  # 4 + 2 = 6 <= 10
+        assert second.done() and third.done()
+        service.close()
+
+    def test_oversized_request_rides_a_round_alone(self):
+        engine = make_engine()
+        service = manual_service(engine, max_batch=4)
+        queries = make_batch()  # 8 > max_batch
+        future = service.submit(queries)
+        assert service.run_pending_round() == 1
+        assert len(future.result(timeout=5)) == 8
+        assert engine.stats.service_batch_occupancy == pytest.approx(2.0)
+        service.close()
+
+    def test_run_pending_round_on_idle_service_is_a_noop(self):
+        engine = make_engine()
+        service = manual_service(engine)
+        baseline = engine.stats.as_dict()
+        assert service.run_pending_round() == 0
+        assert service_delta(engine.stats, baseline)["service_rounds"] == 0
+        service.close()
+
+
+# ----------------------------------------------------------------------
+# Failure paths: deadlines, engine errors, cancellation, close
+# ----------------------------------------------------------------------
+class TestFailurePaths:
+    def test_deadline_expiry_mid_queue(self):
+        engine = make_engine()
+        service = manual_service(engine, max_batch=64)
+        baseline = engine.stats.as_dict()
+        doomed = service.submit(make_batch(), timeout_ms=1)
+        alive = service.submit(make_batch()[:2])
+        time.sleep(0.02)  # let the doomed request's deadline pass in-queue
+        service.run_pending_round()
+        with pytest.raises(DeadlineExpiredError):
+            doomed.result(timeout=5)
+        assert len(alive.result(timeout=5)) == 2  # the live request still ran
+        delta = service_delta(engine.stats, baseline)
+        assert delta["service_timeouts"] == 8
+        service.close()
+
+    def test_config_default_timeout_applies_to_every_request(self):
+        engine = make_engine()
+        service = manual_service(engine, request_timeout_ms=1.0)
+        future = service.submit(make_batch())
+        time.sleep(0.02)
+        service.run_pending_round()
+        with pytest.raises(DeadlineExpiredError):
+            future.result(timeout=5)
+        service.close()
+
+    def test_engine_error_fans_out_to_every_waiting_future(self):
+        engine = make_engine()
+        service = manual_service(engine, max_batch=64)
+
+        boom = RuntimeError("backend exploded")
+
+        def explode(plans):
+            raise boom
+
+        engine.execute_plans_deduped = explode
+        first = service.submit(make_batch())
+        second = service.submit(make_batch()[:3])
+        service.run_pending_round()
+        assert first.exception(timeout=5) is boom
+        assert second.exception(timeout=5) is boom
+        # The service survives an engine error: restore and keep serving.
+        del engine.execute_plans_deduped
+        healthy = service.submit(make_batch()[:2])
+        service.run_pending_round()
+        assert len(healthy.result(timeout=5)) == 2
+        service.close()
+
+    def test_cancelled_future_is_skipped_not_executed(self):
+        engine = make_engine()
+        service = manual_service(engine, max_batch=64)
+        cancelled = service.submit(make_batch())
+        assert cancelled.cancel()
+        alive = service.submit(make_batch()[:2])
+        baseline = engine.stats.as_dict()
+        service.run_pending_round()
+        assert len(alive.result(timeout=5)) == 2
+        # The cancelled request's 8 queries never reached the engine.
+        assert engine.stats.delta_since(baseline)["queries"] == 2
+        service.close()
+
+    def test_draining_close_resolves_in_flight_requests(self):
+        engine = make_engine()
+        queries = make_batch()
+        serial = engine.execute_batch(queries)
+        service = manual_service(engine, max_batch=4)
+        futures = [service.submit(queries) for _ in range(3)]
+        service.close()  # drain=True runs the queued rounds inline
+        for future in futures:
+            assert_batch_equal(future.result(timeout=5), serial, exact=True)
+        assert service.closed
+        service.close()  # idempotent
+
+    def test_non_draining_close_fails_queued_futures_deterministically(self):
+        engine = make_engine()
+        service = manual_service(engine)
+        futures = [service.submit(make_batch()) for _ in range(3)]
+        service.close(drain=False)
+        for future in futures:
+            with pytest.raises(ServiceClosedError):
+                future.result(timeout=5)
+        assert engine.stats.service_queue_depth == 0
+        assert service.queue_depth == 0
+
+
+# ----------------------------------------------------------------------
+# Dispatcher thread: window coalescing, concurrent callers, close
+# ----------------------------------------------------------------------
+class TestDispatcherThread:
+    def test_window_coalesces_concurrent_submissions(self):
+        engine = make_engine()
+        queries = make_batch()
+        serial = engine.execute_batch(queries)
+        baseline = engine.stats.as_dict()
+        n_callers = 4
+        with QueryService(
+            engine, ServiceConfig(coalesce_window_ms=200, max_batch=64)
+        ) as service:
+            futures = [service.submit(queries) for _ in range(n_callers)]
+            results = [future.result(timeout=30) for future in futures]
+        for result in results:
+            assert_batch_equal(result, serial, exact=True)
+        delta = service_delta(engine.stats, baseline)
+        # All four submissions landed inside one window: one fused round,
+        # every query coalesced, three requests' worth deduped.
+        assert delta["service_rounds"] == 1
+        assert delta["service_admitted"] == n_callers * 8
+        assert delta["service_coalesced"] == n_callers * 8
+        assert delta["service_deduped"] == (n_callers - 1) * 8
+
+    def test_zero_window_still_correct(self):
+        engine = make_engine()
+        queries = make_batch()
+        serial = engine.execute_batch(queries)
+        with QueryService(
+            engine, ServiceConfig(coalesce_window_ms=0, max_batch=64)
+        ) as service:
+            assert_batch_equal(service.execute(queries), serial, exact=True)
+
+    def test_full_batch_dispatches_before_window_expires(self):
+        engine = make_engine()
+        queries = make_batch()
+        # A window long enough that waiting it out would fail the result
+        # timeout: dispatch must be triggered by max_batch, not the clock.
+        with QueryService(
+            engine, ServiceConfig(coalesce_window_ms=60_000, max_batch=8)
+        ) as service:
+            future = service.submit(queries)
+            assert len(future.result(timeout=30)) == 8
+            service.close(drain=False)
+
+    def test_close_with_dispatcher_drains_by_default(self):
+        engine = make_engine()
+        queries = make_batch()
+        serial = engine.execute_batch(queries)
+        service = QueryService(
+            engine, ServiceConfig(coalesce_window_ms=60_000, max_batch=64)
+        )
+        future = service.submit(queries[:3])
+        service.close()  # wakes the window wait; the round still runs
+        assert_batch_equal(future.result(timeout=5), serial[:3], exact=True)
+
+    def test_close_without_drain_rejects_queued_work(self):
+        engine = make_engine()
+        service = QueryService(
+            engine, ServiceConfig(coalesce_window_ms=60_000, max_batch=64)
+        )
+        future = service.submit(make_batch())
+        service.close(drain=False)
+        with pytest.raises(ServiceClosedError):
+            future.result(timeout=5)
+
+
+# ----------------------------------------------------------------------
+# Stats contract
+# ----------------------------------------------------------------------
+class TestServiceStats:
+    def test_counters_flow_through_delta_since_and_reset(self):
+        engine = make_engine()
+        service = manual_service(engine, max_batch=64)
+        futures = [service.submit(make_batch()) for _ in range(2)]
+        service.run_pending_round()
+        for future in futures:
+            future.result(timeout=5)
+        baseline = engine.stats.as_dict()
+        assert baseline["service_rounds"] == 1
+        # A window that saw no service traffic reports zero deltas while
+        # the gauges pass through as current values.
+        delta = engine.stats.delta_since(baseline)
+        assert delta["service_rounds"] == 0
+        assert delta["service_admitted"] == 0
+        assert delta["service_batch_occupancy"] == pytest.approx(16 / 64)
+        engine.stats.reset()
+        assert engine.stats.service_admitted == 0
+        assert engine.stats.service_rounds == 0
+        # Gauges survive reset (they describe current state, not a window).
+        assert engine.stats.service_batch_occupancy == pytest.approx(16 / 64)
+        service.close()
+
+    def test_service_gauges_are_settable_counters_are_not(self):
+        engine = make_engine()
+        engine.stats.set_gauges(service_queue_depth=3, service_batch_occupancy=0.5)
+        assert engine.stats.service_queue_depth == 3
+        with pytest.raises(ValueError):
+            engine.stats.set_gauges(service_admitted=1)
+
+
+# ----------------------------------------------------------------------
+# Acceptance: N concurrent callers, bit-identical to serial, fusion proven
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("shard_strategy", SHARD_STRATEGIES)
+@pytest.mark.parametrize("executor", EXECUTORS)
+class TestConcurrentCallersBitIdentity:
+    N_CALLERS = 4
+
+    def test_hammer_matches_serial(self, backend, shard_strategy, executor):
+        table = make_relevant(5)
+        queries = make_batch()
+        serial = QueryEngine(
+            table, config=EngineConfig(backend=backend, num_workers=1)
+        ).execute_batch(queries)
+        engine = QueryEngine(
+            table,
+            config=EngineConfig(
+                backend=backend,
+                num_workers=2,
+                shard_strategy=shard_strategy,
+                executor=executor,
+            ),
+        )
+        exact = backend in EXACT_BACKENDS
+        try:
+            baseline = engine.stats.as_dict()
+            service = manual_service(engine, max_batch=256, coalesce_window_ms=0)
+            barrier = threading.Barrier(self.N_CALLERS)
+            futures = [None] * self.N_CALLERS
+            errors = []
+
+            def caller(slot):
+                try:
+                    barrier.wait(timeout=10)
+                    futures[slot] = service.submit(queries)
+                except Exception as exc:  # noqa: BLE001 - surfaced below
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=caller, args=(slot,))
+                for slot in range(self.N_CALLERS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors, errors[0]
+            # Every caller admitted before any round ran: the single drain
+            # round is guaranteed to coalesce all of them.
+            assert service.queue_depth == self.N_CALLERS * len(queries)
+            service.close()  # draining close runs the fused round(s)
+            for future in futures:
+                assert_batch_equal(future.result(timeout=30), serial, exact)
+            delta = service_delta(engine.stats, baseline)
+            total = self.N_CALLERS * len(queries)
+            assert delta["service_admitted"] == total
+            # Cross-request fusion fired: one shared round, every query
+            # coalesced, all but one caller's plans served by fan-out.
+            assert delta["service_rounds"] == 1
+            assert delta["service_coalesced"] == total
+            assert delta["service_deduped"] == (self.N_CALLERS - 1) * len(queries)
+        finally:
+            engine.close()
+
+    def test_live_dispatcher_hammer_matches_serial(
+        self, backend, shard_strategy, executor
+    ):
+        """Same combos through the real dispatcher thread: callers block on
+        ``execute`` concurrently; whatever rounds the window forms, results
+        stay bit-identical and every admitted query is accounted for."""
+        table = make_relevant(6)
+        queries = make_batch()
+        serial = QueryEngine(
+            table, config=EngineConfig(backend=backend, num_workers=1)
+        ).execute_batch(queries)
+        engine = QueryEngine(
+            table,
+            config=EngineConfig(
+                backend=backend,
+                num_workers=2,
+                shard_strategy=shard_strategy,
+                executor=executor,
+            ),
+        )
+        exact = backend in EXACT_BACKENDS
+        try:
+            baseline = engine.stats.as_dict()
+            errors = []
+            with QueryService(
+                engine, ServiceConfig(coalesce_window_ms=20, max_batch=256)
+            ) as service:
+
+                def caller():
+                    try:
+                        for _ in range(2):
+                            assert_batch_equal(service.execute(queries), serial, exact)
+                    except Exception as exc:  # noqa: BLE001 - surfaced below
+                        errors.append(exc)
+
+                threads = [
+                    threading.Thread(target=caller) for _ in range(self.N_CALLERS)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+            assert not errors, errors[0]
+            delta = service_delta(engine.stats, baseline)
+            assert delta["service_admitted"] == self.N_CALLERS * 2 * len(queries)
+            assert delta["service_rounds"] >= 1
+            assert delta["service_timeouts"] == 0
+            assert delta["service_rejected"] == 0
+        finally:
+            engine.close()
