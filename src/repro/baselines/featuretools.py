@@ -15,7 +15,11 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.dataframe.aggregates import CATEGORICAL_SAFE_AGGREGATES, DEFAULT_AGGREGATES
+from repro.dataframe.aggregates import (
+    CATEGORICAL_SAFE_AGGREGATES,
+    DEFAULT_AGGREGATES,
+    parse_aggregate_name,
+)
 from repro.dataframe.table import Table
 from repro.query.augment import augment_training_table
 from repro.query.executor import execute_query
@@ -54,7 +58,10 @@ class FeaturetoolsGenerator:
         for attr in agg_attrs:
             column = relevant_table.column(attr)
             for func in self.agg_funcs:
-                if not column.is_numeric_like and func not in CATEGORICAL_SAFE_AGGREGATES:
+                # Safety is a property of the aggregate family, so spelled
+                # parameterized names ("TOP_K_SHARE:3") resolve correctly.
+                family, _ = parse_aggregate_name(func)
+                if not column.is_numeric_like and family not in CATEGORICAL_SAFE_AGGREGATES:
                     continue
                 queries.append(
                     PredicateAwareQuery(

@@ -63,7 +63,9 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
         choices=list(SHARD_STRATEGIES),
         default=None,
         help="how a multi-worker engine shards: 'plan' partitions a batch's "
-        "fused plans across workers, 'group' splits one plan's group ranges",
+        "fused plans across workers, 'group' splits one plan's group ranges, "
+        "'auto' picks per dispatch (plan for wide batches, group for a "
+        "single heavy plan); default $REPRO_ENGINE_SHARD_STRATEGY or 'plan'",
     )
     parser.add_argument(
         "--engine-executor",

@@ -86,8 +86,9 @@ class FeatAugConfig:
     engine_workers: int | None = None
     #: shard strategy with ``engine_workers > 1``: "plan" partitions a
     #: batch's fused plans across workers, "group" splits one plan's
-    #: group-code space into contiguous ranges; ``None`` keeps the engine
-    #: default ("plan").
+    #: group-code space into contiguous ranges, "auto" picks between the two
+    #: per dispatch; ``None`` keeps the engine default
+    #: (``$REPRO_ENGINE_SHARD_STRATEGY`` or "plan").
     engine_shard_strategy: str | None = None
     #: execution substrate of the sharded engine: "thread" runs shards on an
     #: in-process pool, "process" runs them on a process pool over

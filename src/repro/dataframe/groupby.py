@@ -15,7 +15,8 @@ import numpy as np
 from repro.dataframe.aggregates import (
     AGGREGATE_FUNCTIONS,
     column_to_aggregable,
-    normalise_aggregate_name,
+    parse_aggregate_name,
+    resolve_aggregate,
 )
 from repro.dataframe.column import Column, DType
 from repro.dataframe.table import Table
@@ -164,10 +165,10 @@ def group_by_aggregate(
     columns preserved with their original dtypes, plus a numeric feature
     column.
     """
-    func_name = normalise_aggregate_name(agg_func)
-    if func_name not in AGGREGATE_FUNCTIONS:
+    func_name, param = parse_aggregate_name(agg_func)
+    if param is None and func_name not in AGGREGATE_FUNCTIONS:
         raise KeyError(f"Unknown aggregation function {agg_func!r}")
-    func = AGGREGATE_FUNCTIONS[func_name]
+    func = resolve_aggregate(func_name, param)
 
     groups = group_indices(table, keys)
     agg_values = column_to_aggregable(table.column(agg_attr))

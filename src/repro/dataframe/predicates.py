@@ -84,8 +84,17 @@ class IsIn(Predicate):
         if col.is_numeric_like:
             allowed = np.asarray([float(v) for v in self.values], dtype=np.float64)
             return np.isin(col.values, allowed)
-        allowed = set(self.values)
-        return np.asarray([v in allowed for v in col.values], dtype=bool)
+        # Vectorized membership for object-dtype columns: one elementwise
+        # equality pass per allowed value (the allowed set is small).  SQL
+        # semantics: NULL never satisfies IN, and ``None == value`` is False
+        # elementwise, so no explicit null check is needed.
+        values = col.values
+        mask = np.zeros(len(values), dtype=bool)
+        for v in self.values:
+            if v is None:
+                continue
+            mask |= values == v
+        return mask
 
     def to_sql(self) -> str:
         rendered = ", ".join(_sql_literal(v) for v in self.values)
@@ -131,6 +140,41 @@ class Range(Predicate):
         if self.high is not None:
             parts.append(f"{self.column} <= {render(self.high)}")
         return " AND ".join(parts)
+
+
+class Window(Predicate):
+    """``low <= column < high`` half-open interval (time windows over events).
+
+    Unlike :class:`Range` both bounds are required and the upper bound is
+    exclusive, so adjacent windows tile an event timeline without double
+    counting boundary timestamps.  Missing values never match.
+    """
+
+    def __init__(self, column: str, low, high, dtype: DType | str = DType.DATETIME):
+        if low is None or high is None:
+            raise ValueError("Window predicate needs both bounds")
+        self.column = column
+        self.low = low
+        self.high = high
+        self.dtype = DType(dtype)
+
+    def mask(self, table: Table) -> np.ndarray:
+        col = table.column(self.column)
+        if not col.is_numeric_like:
+            raise TypeError(f"Window predicate needs a numeric-like column, got {col.dtype.value}")
+        values = col.values
+        mask = ~np.isnan(values)
+        mask &= values >= float(self.low)
+        mask &= values < float(self.high)
+        return mask
+
+    def to_sql(self) -> str:
+        def render(bound):
+            if self.dtype is DType.DATETIME:
+                return f"'{format_datetime(float(bound))}'"
+            return _sql_literal(bound)
+
+        return f"{self.column} >= {render(self.low)} AND {self.column} < {render(self.high)}"
 
 
 class And(Predicate):

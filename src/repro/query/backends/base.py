@@ -277,9 +277,11 @@ class GroupIndexBackend(ExecutionBackend):
             # cache books to seconds_sorting).
             prepared = self.prepare_attr(attr, context)
             for position, spec in positioned:
-                self.before_aggregate(spec.func, prepared)
+                self.before_aggregate(spec, prepared)
                 start = time.perf_counter()
-                feature = self.aggregate(spec.func, prepared)
+                feature = self.aggregate(spec, prepared)
+                # Kernel timings key by the base function name (QUANTILE, not
+                # QUANTILE:0.25): one stats bucket per kernel family.
                 self.stats.record_kernel(
                     spec.func, time.perf_counter() - start, backend=self.name
                 )
@@ -297,16 +299,21 @@ class GroupIndexBackend(ExecutionBackend):
         shared across the plan's aggregates for cross-attribute memoisation."""
         raise NotImplementedError
 
-    def before_aggregate(self, func: str, prepared) -> None:
+    def before_aggregate(self, spec, prepared) -> None:
         """Untimed per-spec hook, called right before the aggregation timer
-        starts.  The numpy backend resolves the shared sort order here for
-        sort-based kernels, so the lexsort books once (into
-        ``seconds_sorting``) instead of hiding inside the first such
-        kernel's ``kernel_seconds`` entry -- while staying lazy enough that
-        accumulation-only plans never sort at all."""
+        starts with the full :class:`~repro.query.plan.AggregateSpec`.  The
+        numpy backend resolves the shared sort order here for sort-based
+        kernels, so the lexsort books once (into ``seconds_sorting``)
+        instead of hiding inside the first such kernel's ``kernel_seconds``
+        entry -- while staying lazy enough that accumulation-only plans
+        never sort at all."""
 
-    def aggregate(self, func: str, prepared):
-        """The timed aggregation step: one float64 value per group."""
+    def aggregate(self, spec, prepared):
+        """The timed aggregation step: one float64 value per group.
+
+        Receives the whole :class:`~repro.query.plan.AggregateSpec` so
+        parameterized aggregates (``spec.param``) dispatch without string
+        re-parsing."""
         raise NotImplementedError
 
 

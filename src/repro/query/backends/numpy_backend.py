@@ -133,16 +133,16 @@ class NumpyBackend(GroupIndexBackend):
 
         return order_cache
 
-    def before_aggregate(self, func: str, prepared) -> None:
+    def before_aggregate(self, spec, prepared) -> None:
         # Resolve the shared order outside the kernel timer, so
         # kernel_seconds / seconds_aggregating measure the kernel's own work
         # and the lexsort books exactly once, into seconds_sorting.  MAD also
         # resolves its second order (over |x - group median| deviations) so
         # both of its sorts book to the sorting phase, not the kernel.
-        if func in SORT_BASED_KERNELS:
+        if spec.func in SORT_BASED_KERNELS:
             prepared.resolve_sort_order()
-        if func == "MAD":
+        if spec.func == "MAD":
             prepared.resolve_mad_order()
 
-    def aggregate(self, func: str, prepared):
-        return prepared.compute(func)
+    def aggregate(self, spec, prepared):
+        return prepared.compute(spec.func, spec.param)

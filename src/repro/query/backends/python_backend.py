@@ -21,7 +21,7 @@ from typing import List
 
 import numpy as np
 
-from repro.dataframe.aggregates import AGGREGATE_FUNCTIONS
+from repro.dataframe.aggregates import resolve_aggregate
 from repro.query.backends.base import GroupIndexBackend, register_backend
 from repro.query.sharding import split_ranges
 
@@ -55,8 +55,8 @@ class PythonBackend(GroupIndexBackend):
             feature[g] = reference(chunk)
         return feature
 
-    def aggregate(self, func: str, prepared: List[np.ndarray]):
-        reference = AGGREGATE_FUNCTIONS[func]
+    def aggregate(self, spec, prepared: List[np.ndarray]):
+        reference = resolve_aggregate(spec.func, spec.param)
         sharder = self.engine.sharder
         if sharder.group_range_active(len(prepared)):
             ranges = split_ranges(len(prepared), sharder.num_workers)

@@ -54,7 +54,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.dataframe.aggregates import AGGREGATE_FUNCTIONS
+from repro.dataframe.aggregates import resolve_aggregate
 from repro.dataframe.column import Column, DType
 from repro.dataframe.table import Table
 from repro.query.backends.base import ExecutionBackend, register_backend
@@ -302,6 +302,27 @@ class SqliteBackend(ExecutionBackend):
                     else:
                         clauses.append(f"{alias} = ?")
                         params.append(code)
+            elif atom.kind == "in":
+                members = atom.value or ()
+                if column.is_numeric_like:
+                    allowed: List[object] = [float(v) for v in members]
+                else:
+                    codes = (self._eq_code(atom.attr, v) for v in members)
+                    allowed = [code for code in codes if code is not None]
+                if not allowed:
+                    clauses.append("0")  # nothing stored matches any member
+                else:
+                    placeholders = ", ".join("?" for _ in allowed)
+                    clauses.append(f"{alias} IN ({placeholders})")
+                    params.extend(allowed)
+            elif atom.kind == "window":
+                if not column.is_numeric_like:
+                    raise TypeError(
+                        f"Window predicate needs a numeric-like column, got {column.dtype.value}"
+                    )
+                clauses.append(f"({alias} IS NOT NULL AND {alias} >= ? AND {alias} < ?)")
+                params.append(float(atom.low))
+                params.append(float(atom.high))
             else:
                 if not column.is_numeric_like:
                     raise TypeError(
@@ -357,7 +378,11 @@ class SqliteBackend(ExecutionBackend):
                     conn, plan, spec.attr, column, where_sql, params,
                     select_keys, group_sql, collect_cache,
                 )
-                func = AGGREGATE_FUNCTIONS[spec.func]
+                # Parameterized families (QUANTILE, TOP_K_SHARE) are never in
+                # _NATIVE_SQL, so they always take this quantile-free fallback
+                # ordering: SQLite filters and groups, the reference function
+                # aggregates the collected per-group values in rowid order.
+                func = resolve_aggregate(spec.func, spec.param)
                 feature = np.asarray(
                     [func(values) for values in group_values], dtype=np.float64
                 )

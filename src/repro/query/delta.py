@@ -63,7 +63,7 @@ import numpy as np
 
 from repro.dataframe.column import Column, DType
 from repro.dataframe.groupby import renumber_codes_compact
-from repro.dataframe.predicates import Equals, Predicate, Range
+from repro.dataframe.predicates import Equals, IsIn, Predicate, Range, Window
 from repro.dataframe.table import Table
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
@@ -104,9 +104,11 @@ def _atom_predicate(signature) -> Optional[Predicate]:
     """Reconstruct the predicate behind one mask-cache key (atom signature).
 
     Mask-cache keys are exactly ``PredicateAtom.signature()`` tuples --
-    ``("eq", attr, value)`` / ``("range", attr, low, high)`` -- pinned by
-    ``tests/query/test_plan.py``.  Returns ``None`` for any other shape
-    (the caller evicts the entry).
+    ``("eq", attr, value)`` / ``("range", attr, low, high)`` /
+    ``("in", attr, members)`` / ``("window", attr, low, high)`` -- pinned by
+    ``tests/query/test_plan.py``.  Dispatch is on the kind tag, never on the
+    tuple length (``"in"`` signatures are also 3-tuples).  Returns ``None``
+    for any other shape (the caller evicts the entry).
     """
     if not isinstance(signature, tuple) or not signature:
         return None
@@ -118,6 +120,18 @@ def _atom_predicate(signature) -> Optional[Predicate]:
         if low is None and high is None:
             return None
         return Range(signature[1], low=low, high=high)
+    if (
+        kind == "in"
+        and len(signature) == 3
+        and isinstance(signature[1], str)
+        and isinstance(signature[2], tuple)
+    ):
+        return IsIn(signature[1], list(signature[2]))
+    if kind == "window" and len(signature) == 4 and isinstance(signature[1], str):
+        low, high = signature[2], signature[3]
+        if low is None or high is None:
+            return None
+        return Window(signature[1], low=low, high=high)
     return None
 
 

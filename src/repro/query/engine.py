@@ -99,6 +99,7 @@ from repro.query.sharding import (
     SHARD_STRATEGIES,
     ShardScheduler,
     default_executor_name,
+    default_shard_strategy,
     default_worker_count,
 )
 
@@ -155,7 +156,10 @@ class EngineConfig:
     (``$REPRO_ENGINE_EXECUTOR`` or ``"thread"``).  ``shard_strategy`` selects
     how a multi-worker engine parallelises: ``"plan"`` partitions a batch's
     fused plans across workers, ``"group"`` splits one plan's group-code
-    space into contiguous ranges (see :mod:`repro.query.sharding`);
+    space into contiguous ranges, and ``"auto"`` chooses between the two per
+    dispatch -- plan-level for wide fused batches, group-range for a single
+    heavy plan (see :mod:`repro.query.sharding`); ``None`` follows
+    ``$REPRO_ENGINE_SHARD_STRATEGY`` at use time (default ``"plan"``);
     ``executor`` selects what carries the shards -- a thread pool in the
     engine's address space or a process pool over shared-memory tables
     (:mod:`repro.query.procpool`).  ``memory_budget_bytes`` imposes one
@@ -168,7 +172,9 @@ class EngineConfig:
     mask_cache_size: int = DEFAULT_MASK_CACHE_SIZE
     result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE
     num_workers: Optional[int] = None
-    shard_strategy: str = "plan"
+    #: Shard strategy: ``"plan"`` | ``"group"`` | ``"auto"``; ``None`` follows
+    #: ``$REPRO_ENGINE_SHARD_STRATEGY`` at use time (default ``"plan"``).
+    shard_strategy: Optional[str] = None
     #: Bound on the engine's shared sort-order cache; ``0`` disables it (the
     #: order-statistics kernels then re-sort per plan, the pre-cache
     #: behaviour -- the benchmark baseline uses this).
@@ -209,6 +215,14 @@ class EngineConfig:
                 raise ValueError(
                     f"Unknown executor {name!r}; expected one of {EXECUTORS}"
                 )
+        if self.shard_strategy is not None:
+            name = self.shard_strategy.strip()
+            object.__setattr__(self, "shard_strategy", name or None)
+            if name and name not in SHARD_STRATEGIES:
+                raise ValueError(
+                    f"Unknown shard strategy {name!r}; "
+                    f"expected one of {SHARD_STRATEGIES}"
+                )
 
     @property
     def backend_name(self) -> str:
@@ -218,6 +232,11 @@ class EngineConfig:
     def executor_name(self) -> str:
         """The resolved executor kind (explicit value, else the process default)."""
         return self.executor or default_executor_name()
+
+    @property
+    def shard_strategy_name(self) -> str:
+        """The resolved shard strategy (explicit value, else the env default)."""
+        return self.shard_strategy or default_shard_strategy()
 
     @property
     def worker_count(self) -> int:
@@ -246,9 +265,9 @@ class EngineConfig:
             raise ValueError("Cache sizes must be >= 1")
         if self.sort_cache_size < 0:
             raise ValueError("sort_cache_size must be >= 0 (0 disables the cache)")
-        if self.shard_strategy not in SHARD_STRATEGIES:
+        if self.shard_strategy_name not in SHARD_STRATEGIES:  # malformed env
             raise ValueError(
-                f"Unknown shard strategy {self.shard_strategy!r}; "
+                f"Unknown shard strategy {self.shard_strategy_name!r}; "
                 f"expected one of {SHARD_STRATEGIES}"
             )
         if self.worker_count < 1:  # also raises on a malformed env override
@@ -276,7 +295,7 @@ class EngineConfig:
             self.mask_cache_size,
             self.result_cache_size,
             self.worker_count,
-            self.shard_strategy,
+            self.shard_strategy_name,
             self.sort_cache_size,
             self.executor_name,
             self.memory_budget_bytes,
@@ -957,7 +976,7 @@ class QueryEngine:
         self.config = _resolve_config(config, kernels, mask_cache_size, result_cache_size)
         self.backend_name = self.config.backend_name
         self.num_workers = self.config.worker_count
-        self.shard_strategy = self.config.shard_strategy
+        self.shard_strategy = self.config.shard_strategy_name
         self.executor_name = self.config.executor_name
         self.memory_budget_bytes = self.config.memory_budget_bytes
         # Directly-constructed engines own a strong reference to their table.

@@ -22,7 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Sequence, Tuple
 
-from repro.dataframe.table import Table
+import numpy as np
+
+from repro.dataframe.table import Table, _join_key_codes
 
 
 @dataclass(frozen=True)
@@ -102,33 +104,58 @@ class RelationalSchema:
         Joins are applied breadth-first following the registered many-to-one
         relationships, up to ``max_depth`` hops (the paper's "deep-layer"
         relationships).  Columns contributed by a joined table are renamed to
-        ``{table}__{column}`` (unless ``prefix_joined_columns`` is disabled) so
-        generated query templates can tell where an attribute came from.  The
-        base table's row count is preserved because every join is many-to-one.
+        ``{alias}__{column}`` (unless ``prefix_joined_columns`` is disabled) so
+        generated query templates can tell where an attribute came from.
+
+        Flattening is **alias-aware**: a parent reachable through several
+        relationship paths (a diamond schema, or two foreign keys of one
+        child referencing the same parent) is joined once *per path*, each
+        join under its own role alias.  The first path keeps the plain table
+        name as its alias -- historical single-path schemas flatten to
+        exactly the same column names as before -- and later paths get
+        role-qualified aliases derived from the referencing foreign key
+        (``{child_key}__{parent}``, widened with the child's own alias and
+        then a numeric suffix until unique).  A per-path visited set guards
+        against relationship cycles without blocking the diamond's converging
+        paths.  Without column prefixes role aliases cannot disambiguate
+        anything, so ``prefix_joined_columns=False`` keeps the historical
+        first-path-only behaviour.  The base table's row count is preserved
+        because every join is many-to-one.
         """
         flattened = self.table(base)
-        visited = {base}
-        frontier: List[Tuple[str, Table, int]] = [(base, flattened, 0)]
-        # Maps original child-table column names in the flattened table.
+        used_aliases = {base}
+        joined_parents = {base}
+        # (table name, alias in the flattened output, depth, tables on this path)
+        frontier: List[Tuple[str, str, int, frozenset]] = [
+            (base, base, 0, frozenset({base}))
+        ]
         while frontier:
-            child_name, _, depth = frontier.pop(0)
+            child_name, child_alias, depth, path = frontier.pop(0)
             if depth >= max_depth:
                 continue
             for relationship in self.parents_of(child_name):
-                if relationship.parent in visited:
-                    continue
+                if relationship.parent in path:
+                    continue  # cycle guard (per path, so diamonds still converge)
+                if not prefix_joined_columns:
+                    if relationship.parent in joined_parents:
+                        continue
+                    joined_parents.add(relationship.parent)
                 parent_table = self.table(relationship.parent)
+                alias = self._parent_alias(relationship, child_alias, used_aliases)
+                used_aliases.add(alias)
                 join_column = relationship.child_key
                 if child_name != base and prefix_joined_columns:
-                    join_column = f"{child_name}__{relationship.child_key}"
+                    join_column = f"{child_alias}__{relationship.child_key}"
                 if join_column not in flattened:
                     raise KeyError(
                         f"Join key {join_column!r} is missing from the flattened table; "
                         f"cannot apply {relationship.describe()}"
                     )
-                prepared = self._prepare_parent(parent_table, relationship, prefix_joined_columns)
+                prepared = self._prepare_parent(
+                    parent_table, relationship, prefix_joined_columns, alias=alias
+                )
                 right_key = (
-                    f"{relationship.parent}__{relationship.parent_key}"
+                    f"{alias}__{relationship.parent_key}"
                     if prefix_joined_columns
                     else relationship.parent_key
                 )
@@ -141,30 +168,66 @@ class RelationalSchema:
                         f"Join {relationship.describe()} changed the row count; "
                         "the relationship is not many-to-one"
                     )
-                visited.add(relationship.parent)
-                frontier.append((relationship.parent, prepared, depth + 1))
+                frontier.append(
+                    (
+                        relationship.parent,
+                        alias,
+                        depth + 1,
+                        path | {relationship.parent},
+                    )
+                )
         return flattened
 
     @staticmethod
-    def _prepare_parent(parent_table: Table, relationship: Relationship, prefix: bool) -> Table:
-        """Deduplicate the parent on its key and optionally prefix its columns."""
-        # Keep the first row per key value (many-to-one targets should already
-        # be unique per key; this is a safety net for dirty inputs).
-        seen = set()
-        keep = []
+    def _parent_alias(relationship: Relationship, child_alias: str, used: set) -> str:
+        """Output alias for one join path onto ``relationship.parent``.
+
+        The first path onto a parent keeps the plain table name, so
+        single-path schemas keep their historical column names; later paths
+        are role-qualified by the referencing foreign key.
+        """
+        candidates = [
+            relationship.parent,
+            f"{relationship.child_key}__{relationship.parent}",
+            f"{child_alias}__{relationship.child_key}__{relationship.parent}",
+        ]
+        for candidate in candidates:
+            if candidate not in used:
+                return candidate
+        i = 2
+        while f"{candidates[-1]}__{i}" in used:
+            i += 1
+        return f"{candidates[-1]}__{i}"
+
+    @staticmethod
+    def _prepare_parent(
+        parent_table: Table,
+        relationship: Relationship,
+        prefix: bool,
+        alias: str | None = None,
+    ) -> Table:
+        """Deduplicate the parent on its key and optionally prefix its columns.
+
+        Keeps the first row per key value (many-to-one targets should already
+        be unique per key; this is a safety net for dirty inputs), vectorized
+        through the same joint factorization as ``Table.left_join``: key
+        codes share one label space where NaN / ``None`` take a single code,
+        and a reversed index assignment marks each code's first occurrence.
+        Collapsing all missing-key rows onto the first is join-invariant --
+        ``left_join`` is first-match-wins over that same shared code, so no
+        later missing-key row could ever be matched anyway.
+        """
         key_column = parent_table.column(relationship.parent_key)
-        for i in range(parent_table.num_rows):
-            value = key_column.values[i]
-            key = float(value) if key_column.is_numeric_like else value
-            if key in seen:
-                keep.append(False)
-            else:
-                seen.add(key)
-                keep.append(True)
+        no_rows = np.zeros(parent_table.num_rows, dtype=bool)
+        codes, _, n_labels = _join_key_codes(key_column, key_column.filter(no_rows))
+        first = np.full(n_labels, -1, dtype=np.int64)
+        first[codes[::-1]] = np.arange(codes.shape[0] - 1, -1, -1, dtype=np.int64)
+        keep = first[codes] == np.arange(codes.shape[0], dtype=np.int64)
         deduplicated = parent_table.filter(keep)
         if not prefix:
             return deduplicated
-        mapping = {name: f"{relationship.parent}__{name}" for name in deduplicated.column_names}
+        alias = alias or relationship.parent
+        mapping = {name: f"{alias}__{name}" for name in deduplicated.column_names}
         return deduplicated.rename(mapping)
 
 

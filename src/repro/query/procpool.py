@@ -68,7 +68,7 @@ import numpy as np
 from repro.dataframe.column import Column, DType
 from repro.dataframe.table import Table
 from repro.query.plan import QueryPlan
-from repro.query.sharding import ShardScheduler, split_ranges
+from repro.query.sharding import ShardScheduler, resolve_auto_strategy, split_ranges
 
 #: Every segment name starts with this prefix, so a leak check is one
 #: ``ls /dev/shm | grep repro_shm`` away (wired into CI).
@@ -467,9 +467,35 @@ class ProcessShardScheduler(ShardScheduler):
         plans = list(plans)
         if self.shard_strategy == "group":
             return [self._run_group_plan(plan) for plan in plans]
+        if self.shard_strategy == "auto" and len(plans) == 1 and self.num_workers > 1:
+            return [self._run_auto_plan(plans[0])]
         if not self.plan_parallel_active(len(plans)):
             return self._run_serial(plans)
         return self._run_plan_parallel(plans)
+
+    def _run_auto_plan(self, plan: QueryPlan) -> List[Table]:
+        """Auto strategy, single plan: cost it from the prefetched context.
+
+        Wide fused batches never reach here (``run_fused_plans`` routes them
+        to plan-level LPT scheduling); a lone plan is worth group-range
+        fan-out only when its filtered-rows x aggregates cost clears
+        ``AUTO_HEAVY_PLAN_COST``.  The context computed for the costing is
+        reused by whichever path runs, so the choice adds no duplicate mask
+        or group-index work.
+        """
+        engine = self.engine
+        start = time.perf_counter()
+        context = engine.backend.plan_context(plan)
+        if resolve_auto_strategy(1, self._plan_cost(plan, context)) == "group":
+            return self._finish_group_plan(plan, context, start)
+        if context is None:
+            result = engine.backend.run_plan(plan)
+        else:
+            result = engine.backend.run_plan_with_context(plan, context)
+        engine.stats.add_split(
+            "backend_seconds", engine.backend_name, time.perf_counter() - start
+        )
+        return result
 
     def _run_serial(self, plans: Sequence[QueryPlan]) -> List[List[Table]]:
         engine = self.engine
@@ -527,10 +553,15 @@ class ProcessShardScheduler(ShardScheduler):
         group sharding, which never engages for them either.
         """
         engine = self.engine
+        start = time.perf_counter()
+        context = engine.backend.plan_context(plan)
+        return self._finish_group_plan(plan, context, start)
+
+    def _finish_group_plan(self, plan: QueryPlan, context, start: float) -> List[Table]:
+        """Fan *plan* out as group ranges from an already-computed context."""
+        engine = self.engine
         stats = engine.stats
         backend = engine.backend
-        start = time.perf_counter()
-        context = backend.plan_context(plan)
         if context is None:
             result = backend.run_plan(plan)
             stats.add_split(

@@ -63,9 +63,39 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 #: sharded matrix slot to replay the query suites with ``num_workers=4``).
 WORKERS_ENV_VAR = "REPRO_ENGINE_WORKERS"
 
-#: The two shard strategies: partition fused plans across workers ("plan")
-#: or split one plan's group-code space into contiguous ranges ("group").
-SHARD_STRATEGIES = ("plan", "group")
+#: The shard strategies: partition fused plans across workers ("plan"),
+#: split one plan's group-code space into contiguous ranges ("group"), or
+#: decide per batch from prefetched context sizes ("auto").
+SHARD_STRATEGIES = ("plan", "group", "auto")
+
+#: Environment variable overriding the default shard strategy (used by the CI
+#: auto-strategy matrix slot to replay the query suites with
+#: ``shard_strategy="auto"``).
+SHARD_STRATEGY_ENV_VAR = "REPRO_ENGINE_SHARD_STRATEGY"
+
+#: ``auto`` strategy threshold: a single plan whose estimated cost (filtered
+#: rows x aggregate count) reaches this goes group-range; below it, plan-level
+#: scheduling (i.e. serial for a single plan) wins because the per-range
+#: fan-out overhead would dominate.
+AUTO_HEAVY_PLAN_COST = 100_000.0
+
+
+def resolve_auto_strategy(n_plans: int, plan_cost: float) -> str:
+    """The ``auto`` strategy's deterministic chooser.
+
+    Wide fused batches (``n_plans > 1``) go plan-level -- whole plans are the
+    natural unit of parallelism and group-range splitting each would thrash
+    the pool.  A single plan goes group-range only when its prefetched cost
+    (:meth:`ShardScheduler._plan_cost`, filtered rows x aggregates) reaches
+    :data:`AUTO_HEAVY_PLAN_COST`; light single plans stay serial.  Pure
+    function of its two inputs, so the choice is unit-testable and identical
+    at every worker count.
+    """
+    if n_plans > 1:
+        return "plan"
+    if plan_cost >= AUTO_HEAVY_PLAN_COST:
+        return "group"
+    return "plan"
 
 #: Environment variable overriding the default executor kind (used by the CI
 #: process-executor matrix slot to replay the query suites across processes).
@@ -95,6 +125,25 @@ def default_worker_count() -> int:
     if workers < 1:
         raise ValueError(f"${WORKERS_ENV_VAR} must be a positive integer, got {raw!r}")
     return workers
+
+
+def default_shard_strategy() -> str:
+    """The process-wide default shard strategy:
+    ``$REPRO_ENGINE_SHARD_STRATEGY`` or ``"plan"``.
+
+    Raises ``ValueError`` on an unknown value -- eagerly, like the executor
+    and worker-count defaults, so a typo'd environment surfaces at config
+    resolution instead of silently falling back to plan-level scheduling.
+    """
+    raw = os.environ.get(SHARD_STRATEGY_ENV_VAR, "").strip()
+    if not raw:
+        return "plan"
+    if raw not in SHARD_STRATEGIES:
+        raise ValueError(
+            f"${SHARD_STRATEGY_ENV_VAR} names an unknown shard strategy {raw!r}; "
+            f"expected one of {SHARD_STRATEGIES}"
+        )
+    return raw
 
 
 def default_executor_name() -> str:
@@ -294,9 +343,9 @@ class ShardedGroupedAggregator:
             orders.append(np.searchsorted(in_range, chunk))
         return orders
 
-    def compute(self, name: str) -> np.ndarray:
+    def compute(self, name: str, param=None) -> np.ndarray:
         results = self._scheduler.map_shards(
-            [(lambda part=part: part.compute(name)) for part in self._parts]
+            [(lambda part=part: part.compute(name, param)) for part in self._parts]
         )
         if len(results) == 1:
             return results[0]
@@ -320,17 +369,32 @@ class ShardScheduler:
         self._pool: Optional[ThreadPoolExecutor] = None
         self._worker_backends: Dict[int, ExecutionBackend] = {}
         self._lock = threading.Lock()
+        #: ``auto`` strategy state: set (thread-locally, on the coordinator
+        #: thread driving the plan) while a single heavy plan runs in
+        #: group-range mode, so :meth:`group_range_active` answers True for
+        #: exactly that plan's kernels and nothing else.
+        self._auto_local = threading.local()
 
     # ------------------------------------------------------------------
     # Activation predicates
     # ------------------------------------------------------------------
     def plan_parallel_active(self, n_plans: int) -> bool:
         """Whether a batch of *n_plans* fused plans is scheduled on the pool."""
-        return self.shard_strategy == "plan" and self.num_workers > 1 and n_plans > 1
+        return (
+            self.shard_strategy in ("plan", "auto")
+            and self.num_workers > 1
+            and n_plans > 1
+        )
 
     def group_range_active(self, n_groups: int) -> bool:
         """Whether one plan's *n_groups* groups are split into code ranges."""
-        return self.shard_strategy == "group" and self.num_workers > 1 and n_groups > 1
+        if self.num_workers <= 1 or n_groups <= 1:
+            return False
+        if self.shard_strategy == "group":
+            return True
+        return self.shard_strategy == "auto" and getattr(
+            self._auto_local, "group", False
+        )
 
     # ------------------------------------------------------------------
     # Worker resources
@@ -420,7 +484,7 @@ class ShardScheduler:
             results = []
             for plan in plans:
                 start = time.perf_counter()
-                results.append(engine.backend.run_plan(plan))
+                results.append(self._run_single_plan(plan))
                 stats.add_split(
                     "backend_seconds", engine.backend_name, time.perf_counter() - start
                 )
@@ -446,6 +510,30 @@ class ShardScheduler:
                 for offset, table in enumerate(tables):
                     results[i][lo + offset] = table
         return results  # type: ignore[return-value]
+
+    def _run_single_plan(self, plan: QueryPlan) -> List["Table"]:
+        """Run one plan serially -- or, under ``auto``, group-range sharded.
+
+        The ``auto`` strategy prefetches the plan's context (on this, the
+        coordinator thread, like the plan-parallel path does) so the chooser
+        sees the *filtered* size, then flips the thread-local group-range
+        flag for heavy plans only.  The flag is scoped to this call: the
+        backend's kernels consult :meth:`group_range_active` on this same
+        thread while the plan runs, and nothing else ever observes it.
+        """
+        engine = self.engine
+        if self.shard_strategy != "auto" or self.num_workers <= 1:
+            return engine.backend.run_plan(plan)
+        context = engine.backend.plan_context(plan)
+        choice = resolve_auto_strategy(1, self._plan_cost(plan, context))
+        if choice == "group":
+            self._auto_local.group = True
+        try:
+            if context is None:
+                return engine.backend.run_plan(plan)
+            return engine.backend.run_plan_with_context(plan, context)
+        finally:
+            self._auto_local.group = False
 
     def _split_units(
         self, plans: Sequence[QueryPlan], contexts: Sequence[object]

@@ -137,7 +137,10 @@ class TestHelpers:
         assert normalise_aggregate_name(" avg ") == "AVG"
 
     def test_categorical_safe_set_subset_of_all(self):
-        assert CATEGORICAL_SAFE_AGGREGATES <= set(AGGREGATE_FUNCTIONS)
+        from repro.dataframe.aggregates import PARAMETERIZED_AGGREGATES
+
+        families = set(AGGREGATE_FUNCTIONS) | set(PARAMETERIZED_AGGREGATES)
+        assert CATEGORICAL_SAFE_AGGREGATES <= families
 
     def test_column_to_aggregable_numeric_passthrough(self):
         column = Column("x", [1.0, 2.0])

@@ -31,7 +31,7 @@ from repro.dataframe.table import Table
 from repro.query.backends import backend_names
 from repro.query.delta import INCREMENTAL_ENV_VAR, default_incremental
 from repro.query.engine import EngineConfig, EngineStats, QueryEngine
-from repro.query.query import PredicateAwareQuery
+from repro.query.query import PredicateAwareQuery, WindowConstraint
 
 BACKENDS = tuple(backend_names())
 #: In-process backends: append-then-query must be bit-identical to rebuild.
@@ -40,8 +40,13 @@ VALUE_TOLERANCE = 1e-9
 
 #: Aggregates spanning every upgrade class: additive continuation (COUNT,
 #: SUM), sort-order consumers (MEDIAN, MAD), evict-and-recompute moments
-#: (AVG, VAR), order statistics (MIN, MAX) and the code-valued MODE.
-AGG_FUNCS = ("COUNT", "SUM", "AVG", "MIN", "MAX", "MEDIAN", "VAR", "MODE", "MAD")
+#: (AVG, VAR), order statistics (MIN, MAX), the code-valued MODE, and the
+#: parameterized families (whose 6-tuple result keys bypass the additive
+#: upgrade and evict via ``staleness_evictions`` by construction).
+AGG_FUNCS = (
+    "COUNT", "SUM", "AVG", "MIN", "MAX", "MEDIAN", "VAR", "MODE", "MAD",
+    "QUANTILE:0.25", "TOP_K_SHARE:2",
+)
 
 USERS = ["u0", "u1", "u2", "u3", "u4", None]
 CATS = ["a", "b", "c", None]
@@ -83,6 +88,20 @@ def query_battery():
         queries.append(PredicateAwareQuery(func, "x", ("user",), {}, {}))
         queries.append(
             PredicateAwareQuery(func, "cat", ("user", "cat"), {}, {})
+        )
+        # IN-list including a label only the delta introduces: the cached
+        # membership mask must extend correctly over the appended slice.
+        queries.append(
+            PredicateAwareQuery(
+                func, "x", ("user",), {"cat": ("a", "zz")}, {"cat": DType.CATEGORICAL}
+            )
+        )
+        # Half-open window over the event column.
+        queries.append(
+            PredicateAwareQuery(
+                func, "x", ("user",), {"x": WindowConstraint(0.2, 0.8)},
+                {"x": DType.NUMERIC},
+            )
         )
     return queries
 
@@ -212,7 +231,7 @@ class TestAppendEquivalenceThread:
     """Every backend x strategy x worker count, thread executor."""
 
     @pytest.mark.parametrize("backend", BACKENDS)
-    @pytest.mark.parametrize("strategy", ("plan", "group"))
+    @pytest.mark.parametrize("strategy", ("plan", "group", "auto"))
     @pytest.mark.parametrize("workers", (1, 2, 4))
     def test_incremental_append_equals_rebuild(self, backend, strategy, workers):
         run_append_scenario(backend, workers, strategy, "thread", True)

@@ -130,26 +130,29 @@ class TestResultCache:
     def test_result_key_distinguishes_predicate_dtypes(self):
         """Same constants, different predicate dtype => different queries.
 
-        ``query.signature()`` omits ``predicate_dtypes``; the result cache
-        must not, or a Range query and an Equals query over the same tuple
-        would return each other's cached tables.
+        A numeric-dtyped tuple means a Range, a categorical-dtyped tuple
+        means IN-list membership.  Their signatures are structurally
+        distinct (``("in", ...)`` vs a plain bound pair), so the result
+        cache can never hand one the other's cached table.
         """
         engine = QueryEngine(make_relevant(0))
         range_query = PredicateAwareQuery(
             "SUM", "val", ("key",), {"val": (-10.0, 10.0)}, {"val": DType.NUMERIC}
         )
         engine.execute(range_query)
-        equals_query = PredicateAwareQuery(
+        in_query = PredicateAwareQuery(
             "SUM", "val", ("key",), {"val": (-10.0, 10.0)}  # dtype defaults to CATEGORICAL
         )
-        assert range_query.signature() == equals_query.signature()
-        # The naive path raises for Equals(numeric, tuple); a cache collision
-        # would instead silently return the Range query's cached table.
-        with pytest.raises(TypeError):
-            execute_query_naive(equals_query, engine.table)
-        with pytest.raises(TypeError):
-            engine.execute(equals_query)
+        assert range_query.signature() != in_query.signature()
+        # The IN query keeps only rows whose value is exactly -10 or 10 --
+        # nothing like the range's result; it must miss the cache.
+        result = engine.execute(in_query)
         assert engine.stats.result_hits == 0
+        naive = execute_query_naive(in_query, engine.table)
+        assert np.allclose(
+            result.column("feature").values, naive.column("feature").values,
+            rtol=0.0, atol=1e-9, equal_nan=True,
+        )
 
     def test_clear_caches(self):
         engine = numpy_engine(make_relevant(0))

@@ -29,9 +29,15 @@ from repro.dataframe.table import Table
 from repro.query.backends import backend_names
 from repro.query.engine import EngineConfig, QueryEngine, default_backend_name
 from repro.query.executor import execute_query, execute_query_naive
-from repro.query.query import PredicateAwareQuery
+from repro.query.query import PredicateAwareQuery, WindowConstraint
 
-AGG_FUNCS = list(AGGREGATE_FUNCTIONS)
+#: All plain aggregate names plus spelled parameterized family members; every
+#: backend must agree on them exactly like on the historical fifteen.
+AGG_FUNCS = list(AGGREGATE_FUNCTIONS) + [
+    "QUANTILE:0.25",
+    "QUANTILE:0.5",
+    "TOP_K_SHARE:2",
+]
 PREDICATE_DTYPES = {"cat": DType.CATEGORICAL, "num": DType.NUMERIC}
 
 #: Every registered backend runs the full suite.
@@ -112,14 +118,25 @@ def random_queries(draw):
     agg_attr = draw(st.sampled_from(["val", "num", "cat"]))
     predicates = {}
     if draw(st.booleans()):
-        # "q" never occurs, so empty filter results are generated regularly.
-        predicates["cat"] = draw(st.sampled_from(["x", "y", "q"]))
+        # "q" never occurs, so empty filter results are generated regularly --
+        # both for scalar equality and inside IN-lists.
+        predicates["cat"] = draw(
+            st.one_of(
+                st.sampled_from(["x", "y", "q"]),
+                st.lists(
+                    st.sampled_from(["x", "y", "z", "q"]), min_size=1, max_size=3
+                ).map(tuple),
+            )
+        )
     if draw(st.booleans()):
         low = draw(st.one_of(st.none(), finite_floats))
         high = draw(st.one_of(st.none(), finite_floats))
         if low is not None and high is not None and low > high:
             low, high = high, low
-        if low is not None or high is not None:
+        if low is not None and high is not None and draw(st.booleans()):
+            # Half-open window over the numeric event column.
+            predicates["num"] = WindowConstraint(low, high)
+        elif low is not None or high is not None:
             predicates["num"] = (low, high)
     dtypes = {attr: PREDICATE_DTYPES[attr] for attr in predicates}
     return PredicateAwareQuery(agg_func, agg_attr, keys, predicates, dtypes)

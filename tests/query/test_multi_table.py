@@ -115,6 +115,134 @@ class TestFlatten:
         assert flattened.num_rows == 2
         assert list(flattened.column("parent__value").values) == [1.0, 1.0]
 
+    def test_missing_parent_keys_collapse_to_first_occurrence(self):
+        """NaN / None parent keys share one code: the vectorized dedup keeps
+        the first missing-key row, exactly what first-match-wins joins see."""
+        child = Table.from_dict({"k": [1.0, 2.0, 3.0], "fk": [7.0, None, 8.0]})
+        parent = Table.from_dict(
+            {"fk": [7.0, None, 7.0, None, 9.0], "value": [1.0, 50.0, 99.0, 60.0, 3.0]}
+        )
+        schema = RelationalSchema({"child": child, "parent": parent})
+        schema.add_relationship("child", "fk", "parent", "fk")
+        flattened = schema.flatten("child")
+        assert flattened.num_rows == 3
+        values = flattened.column("parent__value").values
+        # Duplicate 7.0 keeps the first row (1.0, not 99.0); the missing-key
+        # child row matches the *first* missing parent row (50.0, not 60.0);
+        # an unmatched key (8.0) stays missing.
+        assert values[0] == 1.0
+        assert values[1] == 50.0
+        assert np.isnan(values[2])
+
+    def test_vectorized_dedup_matches_per_key_first_rows(self):
+        """Property-style pin: dedup keeps exactly the first row per key."""
+        rng = np.random.default_rng(11)
+        keys = [
+            None if rng.random() < 0.2 else float(rng.integers(0, 6))
+            for _ in range(60)
+        ]
+        parent = Table.from_dict({"fk": keys, "value": [float(i) for i in range(60)]})
+        expected = {}
+        for position, key in enumerate(keys):
+            marker = "missing" if key is None else key
+            expected.setdefault(marker, float(position))
+        child_keys = sorted({k for k in keys if k is not None})
+        child = Table.from_dict({"fk": child_keys})
+        schema = RelationalSchema({"child": child, "parent": parent})
+        schema.add_relationship("child", "fk", "parent", "fk")
+        flattened = schema.flatten("child")
+        got = dict(zip(child_keys, flattened.column("parent__value").values))
+        assert got == {k: expected[k] for k in child_keys}
+
+
+class TestAliasAwareDiamond:
+    """Diamond schemas: one parent reachable through several relationship
+    paths joins once per path, each under its own role alias."""
+
+    @pytest.fixture
+    def diamond_schema(self):
+        events = Table.from_dict(
+            {
+                "event_id": [1.0, 2.0, 3.0],
+                "buyer_id": [10.0, 20.0, 10.0],
+                "seller_id": [20.0, 10.0, 30.0],
+                "amount": [5.0, 7.0, 9.0],
+            }
+        )
+        users = Table.from_dict(
+            {
+                "user_id": [10.0, 20.0, 30.0],
+                "name": ["ann", "bob", "cat"],
+                "region_id": [1.0, 2.0, 1.0],
+            }
+        )
+        regions = Table.from_dict(
+            {"region_id": [1.0, 2.0], "region": ["east", "west"]}
+        )
+        schema = RelationalSchema(
+            {"events": events, "users": users, "regions": regions}
+        )
+        schema.add_relationship("events", "buyer_id", "users", "user_id")
+        schema.add_relationship("events", "seller_id", "users", "user_id")
+        schema.add_relationship("users", "region_id", "regions", "region_id")
+        return schema
+
+    def test_each_path_joins_under_its_own_alias(self, diamond_schema):
+        flattened = diamond_schema.flatten("events")
+        # First path keeps the plain table name; the second is role-qualified
+        # by its referencing foreign key.
+        assert "users__name" in flattened
+        assert "seller_id__users__name" in flattened
+
+    def test_row_count_preserved(self, diamond_schema):
+        flattened = diamond_schema.flatten("events")
+        assert flattened.num_rows == diamond_schema.table("events").num_rows
+
+    def test_values_follow_each_role(self, diamond_schema):
+        flattened = diamond_schema.flatten("events")
+        assert list(flattened.column("users__name").values) == ["ann", "bob", "ann"]
+        assert list(flattened.column("seller_id__users__name").values) == [
+            "bob", "ann", "cat",
+        ]
+
+    def test_second_hop_follows_each_path(self, diamond_schema):
+        """The converging second hop (users -> regions) also joins per path."""
+        flattened = diamond_schema.flatten("events")
+        assert list(flattened.column("regions__region").values) == [
+            "east", "west", "east",
+        ]
+        assert list(flattened.column("region_id__regions__region").values) == [
+            "west", "east", "east",
+        ]
+
+    def test_max_depth_stops_both_paths(self, diamond_schema):
+        flattened = diamond_schema.flatten("events", max_depth=1)
+        assert "users__name" in flattened
+        assert "seller_id__users__name" in flattened
+        assert "regions__region" not in flattened
+        assert "region_id__regions__region" not in flattened
+
+    def test_no_prefix_mode_keeps_first_path_only(self, diamond_schema):
+        """Without column prefixes role aliases cannot disambiguate, so the
+        historical first-path-only behaviour is preserved."""
+        flattened = diamond_schema.flatten("events", prefix_joined_columns=False)
+        assert list(flattened.column("name").values) == ["ann", "bob", "ann"]
+        assert flattened.num_rows == 3
+
+    def test_flattened_diamond_usable_by_the_query_layer(self, diamond_schema):
+        from repro.query.executor import execute_query, execute_query_naive
+        from repro.query.query import PredicateAwareQuery
+
+        flattened = flatten_relevant_tables(
+            diamond_schema, "events", keys=["event_id"]
+        )
+        query = PredicateAwareQuery("SUM", "amount", ("seller_id__users__name",))
+        result = execute_query(query, flattened)
+        expected = execute_query_naive(query, flattened)
+        assert result.column_names == expected.column_names
+        for name in expected.column_names:
+            assert result.column(name) == expected.column(name)
+
 
 class TestFlattenRelevantTables:
     def test_keys_checked(self, instacart_like_schema):

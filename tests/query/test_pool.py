@@ -134,6 +134,141 @@ class TestDecodeEncode:
         assert "User_Logs" in query.to_sql()
 
 
+@pytest.fixture
+def rich_template():
+    return QueryTemplate(
+        ["SUM", "QUANTILE:0.5"],
+        ["pprice"],
+        ["department", "timestamp"],
+        ["cname"],
+        in_list_attrs=["department"],
+        window_attrs=["timestamp"],
+    )
+
+
+@pytest.fixture
+def rich_pool(rich_template, logs_table):
+    return QueryPool(rich_template, logs_table, relation_name="User_Logs")
+
+
+class TestRichTemplateDimensions:
+    """Opt-in IN-list / window attributes add search dimensions; templates
+    without them keep the paper's exact vector layout (pinned above)."""
+
+    def test_in_list_and_window_dimensions_present(self, rich_pool):
+        names = rich_pool.space.names
+        assert "pred_in::department" in names
+        assert "win_low::timestamp" in names
+        assert "win_high::timestamp" in names
+
+    def test_space_grows_by_exactly_three_dimensions(self, template, rich_pool, logs_table):
+        base = QueryPool(template, logs_table)
+        assert len(rich_pool.space) == len(base.space) + 3
+
+    def test_in_list_choices_are_frequency_ranked_prefixes(self, rich_pool):
+        from repro.query.pool import MAX_IN_LIST_MEMBERS
+
+        choices = rich_pool.space["pred_in::department"].choices
+        assert choices[0] is None
+        domain = rich_pool.domain_of("department")
+        assert len(choices) - 1 == min(len(domain), MAX_IN_LIST_MEMBERS)
+        for i, members in enumerate(choices[1:], start=1):
+            assert members == tuple(domain[:i])
+
+    def test_window_bounds_match_column(self, rich_pool, logs_table):
+        dim = rich_pool.space["win_low::timestamp"]
+        assert dim.low == logs_table.column("timestamp").min()
+        assert dim.high == logs_table.column("timestamp").max()
+
+    def test_in_list_attr_must_be_categorical(self, logs_table):
+        bad = QueryTemplate(
+            ["SUM"], ["pprice"], [], ["cname"], in_list_attrs=["pprice"]
+        )
+        with pytest.raises(ValueError, match="must be categorical"):
+            QueryPool(bad, logs_table)
+
+    def test_window_attr_must_be_numeric_or_datetime(self, logs_table):
+        bad = QueryTemplate(
+            ["SUM"], ["pprice"], [], ["cname"], window_attrs=["department"]
+        )
+        with pytest.raises(ValueError, match="numeric or datetime"):
+            QueryPool(bad, logs_table)
+
+
+class TestRichTemplateDecodeEncode:
+    def params(self, **overrides):
+        base = {
+            "agg_func": "SUM",
+            "agg_attr": "pprice",
+            "pred::department": None,
+            "pred_low::timestamp": None,
+            "pred_high::timestamp": None,
+            "pred_in::department": None,
+            "win_low::timestamp": None,
+            "win_high::timestamp": None,
+            "group_keys": ("cname",),
+        }
+        base.update(overrides)
+        return base
+
+    def test_decode_in_list_produces_membership_query(self, rich_pool, logs_table):
+        params = self.params(**{"pred_in::department": ("electronics", "household")})
+        query = rich_pool.decode(params)
+        assert query.predicates["department"] == ("electronics", "household")
+        mask = query.build_predicate().mask(logs_table)
+        assert mask.shape[0] == logs_table.num_rows
+        assert mask.any()
+
+    def test_in_list_overrides_the_equality_dimension(self, rich_pool):
+        params = self.params(
+            **{
+                "pred::department": "media",
+                "pred_in::department": ("electronics", "household"),
+            }
+        )
+        query = rich_pool.decode(params)
+        assert query.predicates["department"] == ("electronics", "household")
+
+    def test_decode_window_produces_window_constraint(self, rich_pool):
+        from repro.query.query import WindowConstraint
+
+        params = self.params(**{"win_low::timestamp": 120.0, "win_high::timestamp": 50.0})
+        query = rich_pool.decode(params)
+        constraint = query.predicates["timestamp"]
+        assert isinstance(constraint, WindowConstraint)
+        # Inverted bounds are swapped, like the range dimensions.
+        assert (constraint.low, constraint.high) == (50.0, 120.0)
+
+    def test_one_sided_window_is_dropped(self, rich_pool):
+        params = self.params(**{"win_low::timestamp": 50.0})
+        query = rich_pool.decode(params)
+        assert not isinstance(query.predicates["timestamp"], tuple) or (
+            query.predicates["timestamp"] == (None, None)
+        )
+
+    def test_encode_roundtrip_through_the_new_dimensions(self, rich_pool, rng):
+        for _ in range(25):
+            params = rich_pool.space.sample(rng)
+            query = rich_pool.decode(params)
+            recovered = rich_pool.encode(query)
+            assert rich_pool.decode(recovered).signature() == query.signature()
+
+    def test_sampled_queries_execute_on_every_backend(self, rich_pool, logs_table):
+        from repro.query.backends import backend_names
+        from repro.query.engine import EngineConfig, QueryEngine
+
+        queries = rich_pool.sample_random(seed=3, n=6)
+        reference = None
+        for backend in backend_names():
+            engine = QueryEngine(logs_table, config=EngineConfig(backend=backend))
+            results = engine.execute_batch(queries)
+            shapes = [r.num_rows for r in results]
+            if reference is None:
+                reference = shapes
+            else:
+                assert shapes == reference
+
+
 class TestRefresh:
     """PR 8 satellite: ``QueryPool.refresh`` extends the domains over
     appended rows, deterministically equal to constructing a fresh pool

@@ -38,15 +38,28 @@ from repro.dataframe.grouped_kernels import GroupedAggregator
 from repro.dataframe.table import Table
 from repro.query.backends import backend_names
 from repro.query.engine import EngineConfig, QueryEngine
-from repro.query.query import PredicateAwareQuery
-from repro.query.sharding import GroupRangeShards, split_ranges
+from repro.query.query import PredicateAwareQuery, WindowConstraint
+from repro.query.sharding import (
+    AUTO_HEAVY_PLAN_COST,
+    GroupRangeShards,
+    SHARD_STRATEGY_ENV_VAR,
+    default_shard_strategy,
+    resolve_auto_strategy,
+    split_ranges,
+)
 
-AGG_FUNCS = list(AGGREGATE_FUNCTIONS)
+#: Plain aggregates plus spelled parameterized family members: group-range
+#: sharding must stay bit-identical for the new sort-based kernels too.
+AGG_FUNCS = list(AGGREGATE_FUNCTIONS) + [
+    "QUANTILE:0.25",
+    "QUANTILE:0.5",
+    "TOP_K_SHARE:2",
+]
 BACKENDS = tuple(backend_names())
 #: In-process backends: serial and sharded results must be bit-identical.
 EXACT_BACKENDS = ("numpy", "python")
 SHARD_COUNTS = (1, 2, 3, 7)
-STRATEGIES = ("plan", "group")
+STRATEGIES = ("plan", "group", "auto")
 VALUE_TOLERANCE = 1e-9
 
 finite_floats = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False)
@@ -122,14 +135,24 @@ def random_queries(draw):
     agg_attr = draw(st.sampled_from(["val", "num", "cat"]))
     predicates = {}
     if draw(st.booleans()):
-        # "q" never occurs, so empty filter results are generated regularly.
-        predicates["cat"] = draw(st.sampled_from(["x", "y", "q"]))
+        # "q" never occurs, so empty filter results are generated regularly
+        # -- both for scalar equality and inside IN-lists.
+        predicates["cat"] = draw(
+            st.one_of(
+                st.sampled_from(["x", "y", "q"]),
+                st.lists(
+                    st.sampled_from(["x", "y", "z", "q"]), min_size=1, max_size=3
+                ).map(tuple),
+            )
+        )
     if draw(st.booleans()):
         low = draw(st.one_of(st.none(), finite_floats))
         high = draw(st.one_of(st.none(), finite_floats))
         if low is not None and high is not None and low > high:
             low, high = high, low
-        if low is not None or high is not None:
+        if low is not None and high is not None and draw(st.booleans()):
+            predicates["num"] = WindowConstraint(low, high)
+        elif low is not None or high is not None:
             predicates["num"] = (low, high)
     dtypes = {attr: (DType.CATEGORICAL if attr == "cat" else DType.NUMERIC) for attr in predicates}
     return PredicateAwareQuery(agg_func, agg_attr, ("key",), predicates, dtypes)
@@ -374,6 +397,98 @@ class TestGroupRangeShardsBitIdentity:
             got = np.concatenate([part.compute(func) for part in parts])
             assert got.shape == want.shape
             assert np.array_equal(got, want, equal_nan=True), func
+
+
+class TestAutoStrategyChooser:
+    """``auto`` resolves deterministically from (plan count, plan cost)."""
+
+    def test_chooser_is_unit_pinned(self):
+        # Wide fused batches always go plan-level, however heavy.
+        assert resolve_auto_strategy(3, 0.0) == "plan"
+        assert resolve_auto_strategy(2, AUTO_HEAVY_PLAN_COST * 10) == "plan"
+        # A single plan goes group-range exactly at the cost threshold.
+        assert resolve_auto_strategy(1, AUTO_HEAVY_PLAN_COST) == "group"
+        assert resolve_auto_strategy(1, AUTO_HEAVY_PLAN_COST * 2) == "group"
+        assert resolve_auto_strategy(1, AUTO_HEAVY_PLAN_COST - 1.0) == "plan"
+        assert resolve_auto_strategy(1, 0.0) == "plan"
+
+    def test_default_strategy_reads_the_environment(self, monkeypatch):
+        monkeypatch.delenv(SHARD_STRATEGY_ENV_VAR, raising=False)
+        assert default_shard_strategy() == "plan"
+        monkeypatch.setenv(SHARD_STRATEGY_ENV_VAR, "   ")
+        assert default_shard_strategy() == "plan"
+        for name in ("plan", "group", "auto"):
+            monkeypatch.setenv(SHARD_STRATEGY_ENV_VAR, name)
+            assert default_shard_strategy() == name
+        monkeypatch.setenv(SHARD_STRATEGY_ENV_VAR, "rows")
+        with pytest.raises(ValueError, match="unknown shard strategy"):
+            default_shard_strategy()
+
+    def test_engine_config_resolves_the_environment_default(self, monkeypatch):
+        monkeypatch.setenv(SHARD_STRATEGY_ENV_VAR, "auto")
+        assert EngineConfig().shard_strategy_name == "auto"
+        # An explicit value always wins over the environment.
+        assert EngineConfig(shard_strategy="group").shard_strategy_name == "group"
+        with pytest.raises(ValueError):
+            EngineConfig(shard_strategy="rows")
+
+
+def auto_table(n: int, seed: int = 7) -> Table:
+    rng = np.random.default_rng(seed)
+    return Table(
+        [
+            Column("key", rng.integers(0, 9, size=n).astype(np.float64), dtype=DType.NUMERIC),
+            Column("cat", [str(c) for c in rng.choice(list("xyz"), size=n)], dtype=DType.CATEGORICAL),
+            Column("val", rng.normal(size=n), dtype=DType.NUMERIC),
+        ]
+    )
+
+
+@pytest.mark.parametrize("executor", ("thread", "process"))
+class TestAutoStrategyEngine:
+    """Engine-level pinning of the ``auto`` choice, on both executors:
+    wide batches book plan shards, a single heavy fused plan books group
+    shards, a light single plan stays fully serial -- and every path stays
+    bit-identical to serial execution."""
+
+    def run_auto(self, table, queries, executor):
+        expected = serial_engine(table, "numpy").execute_batch(queries)
+        engine = sharded_engine(table, "numpy", 3, "auto", executor=executor)
+        try:
+            assert_batches_match("numpy", engine.execute_batch(queries), expected)
+            return engine.stats
+        finally:
+            engine.close()
+
+    def test_wide_batch_goes_plan_level(self, executor):
+        queries = [
+            PredicateAwareQuery(
+                "SUM", "val", ("key",), {"cat": value}, {"cat": DType.CATEGORICAL}
+            )
+            for value in "xyz"
+        ]
+        stats = self.run_auto(auto_table(60), queries, executor)
+        assert stats.plan_shards > 0
+        assert stats.group_shards == 0
+
+    def test_single_heavy_plan_goes_group_range(self, executor):
+        # All queries fuse into ONE plan (same predicate/keys); its cost
+        # (rows x aggregates) crosses AUTO_HEAVY_PLAN_COST, so auto flips
+        # that single plan -- parameterized kernels included -- to
+        # group-range sharding.
+        n = int(AUTO_HEAVY_PLAN_COST) // len(AGG_FUNCS) + 50
+        queries = [
+            PredicateAwareQuery(func, "val", ("key",)) for func in AGG_FUNCS
+        ]
+        stats = self.run_auto(auto_table(n), queries, executor)
+        assert stats.group_shards > 0
+        assert stats.plan_shards == 0
+
+    def test_single_light_plan_stays_serial(self, executor):
+        queries = [PredicateAwareQuery("SUM", "val", ("key",))]
+        stats = self.run_auto(auto_table(50), queries, executor)
+        assert stats.plan_shards == 0
+        assert stats.group_shards == 0
 
 
 class TestShardStats:
